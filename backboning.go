@@ -1,0 +1,201 @@
+// Package repro is a from-scratch Go implementation of network
+// backboning with noisy data, reproducing Coscia & Neffke (ICDE 2017).
+//
+// A network backbone is the subset of a weighted graph's edges whose
+// weights are too strong to be explained by chance, given how much
+// weight their endpoints send and receive overall. This package's main
+// algorithm — the Noise-Corrected (NC) backbone — models edge weights
+// as sums of unitary interactions, estimates each edge's deviation from
+// a bilateral null model together with a Bayesian posterior variance,
+// and keeps edges whose deviation exceeds δ standard deviations.
+//
+// The package also ships every baseline the paper compares against
+// (Disparity Filter, High Salience Skeleton, Doubly Stochastic,
+// Maximum Spanning Tree, naive thresholding) behind one Scores API:
+//
+//	g, err := repro.ReadCSV(f, true)            // src,dst,weight lines
+//	scores, err := repro.NCScores(g)            // per-edge significance
+//	backbone := scores.Threshold(1.64)          // δ = 1.64 ≈ p 0.05
+//	// or: backbone, err := repro.NCBackbone(g, 1.64)
+//	err = backbone.WriteCSV(out)
+//
+// All methods return a Scores table whose Threshold, TopK and
+// TopFraction prune to a backbone while preserving the node set, so
+// methods can be compared at identical backbone sizes.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/backbone"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/graph"
+	"repro/internal/multilayer"
+)
+
+// Graph is an immutable weighted graph, directed or undirected.
+// Build one with NewBuilder or ReadCSV.
+type Graph = graph.Graph
+
+// Builder accumulates nodes and weighted edges and produces a Graph.
+type Builder = graph.Builder
+
+// Edge is one weighted connection; for undirected graphs Src <= Dst.
+type Edge = graph.Edge
+
+// EdgeKey identifies an edge by its (order-normalized) endpoints.
+type EdgeKey = graph.EdgeKey
+
+// Scores is a per-edge significance table produced by any backboning
+// method. Prune it with Threshold, TopK or TopFraction.
+type Scores = filter.Scores
+
+// EdgeStats holds the Noise-Corrected statistics of a single edge:
+// null expectation, lift, symmetrized score, posterior variance.
+type EdgeStats = core.EdgeStats
+
+// NewBuilder returns a builder for a directed or undirected graph.
+func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }
+
+// ReadCSV parses a "src,dst,weight" edge list into a Graph.
+func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadCSV(r, directed)
+}
+
+// NCScores computes the Noise-Corrected significance table. The
+// canonical Score column is the symmetrized lift divided by its
+// posterior standard deviation, so Threshold(δ) applies the paper's
+// pruning rule. Aux columns "nc_score", "sdev", "expected" and
+// "variance" expose the underlying statistics.
+func NCScores(g *Graph) (*Scores, error) { return core.New().Scores(g) }
+
+// NCBackbone extracts the Noise-Corrected backbone at significance δ.
+// Common values: 1.28, 1.64, 2.32 (≈ one-tailed p of 0.10, 0.05, 0.01).
+func NCBackbone(g *Graph, delta float64) (*Graph, error) {
+	return core.New().Backbone(g, delta)
+}
+
+// NCEdge evaluates the NC statistics of a single (possibly
+// hypothetical) edge from its weight, endpoint strengths and network
+// total — e.g. to test whether two edges differ significantly.
+func NCEdge(weight, outStrength, inStrength, total float64) EdgeStats {
+	return core.ComputeEdge(weight, outStrength, inStrength, total)
+}
+
+// NCBinomialScores computes the footnote-2 variant of the NC backbone:
+// direct upper-tail Binomial p-values against the bilateral null, with
+// Score = -log10(p). Aux column "pvalue" holds raw p-values.
+func NCBinomialScores(g *Graph) (*Scores, error) { return core.NewBinomial().Scores(g) }
+
+// DisparityScores computes Disparity Filter significances (Serrano et
+// al. 2009): Score = 1 - α, Aux "alpha" holds the raw p-values.
+func DisparityScores(g *Graph) (*Scores, error) { return backbone.NewDisparity().Scores(g) }
+
+// DisparityBackbone keeps edges significant at level alpha under the
+// Disparity Filter null model.
+func DisparityBackbone(g *Graph, alpha float64) (*Graph, error) {
+	return backbone.NewDisparity().Backbone(g, alpha)
+}
+
+// HSSScores computes High Salience Skeleton saliences (Grady et al.
+// 2012) on the undirected view of g: the share of shortest-path trees
+// containing each edge.
+func HSSScores(g *Graph) (*Scores, error) { return backbone.NewHSS().Scores(g) }
+
+// HSSBackbone keeps edges with salience above the threshold
+// (0.5 is customary given the bimodal salience distribution).
+func HSSBackbone(g *Graph, salience float64) (*Graph, error) {
+	return backbone.NewHSS().Backbone(g, salience)
+}
+
+// DoublyStochasticScores returns Sinkhorn-normalized edge weights
+// (Slater 2009). It errors when the transformation is impossible —
+// e.g. when a node only sends or only receives weight.
+func DoublyStochasticScores(g *Graph) (*Scores, error) {
+	return backbone.NewDoublyStochastic().Scores(g)
+}
+
+// DoublyStochasticBackbone runs Slater's full two-stage algorithm:
+// normalized edges are added strongest-first until the backbone is a
+// single connected component.
+func DoublyStochasticBackbone(g *Graph) (*Graph, error) {
+	return backbone.NewDoublyStochastic().Extract(g)
+}
+
+// MaximumSpanningTree extracts the maximum spanning forest (Kruskal).
+// Directed graphs are symmetrized by summing reciprocal weights.
+func MaximumSpanningTree(g *Graph) (*Graph, error) {
+	return backbone.NewMST().Extract(g)
+}
+
+// NaiveScores scores edges by raw weight, so thresholding reproduces
+// the classic "drop light edges" filter.
+func NaiveScores(g *Graph) (*Scores, error) { return backbone.NewNaive().Scores(g) }
+
+// NaiveBackbone keeps edges with weight strictly above the threshold.
+func NaiveBackbone(g *Graph, threshold float64) (*Graph, error) {
+	return backbone.NewNaive().Backbone(g, threshold)
+}
+
+// DeltaToPValue converts an NC δ threshold to the one-tailed p-value
+// it approximates; PValueToDelta is its inverse.
+func DeltaToPValue(delta float64) float64 { return core.DeltaToPValue(delta) }
+
+// PValueToDelta converts a one-tailed p-value to the corresponding δ.
+func PValueToDelta(p float64) float64 { return core.PValueToDelta(p) }
+
+// KCoreScores assigns each edge the core number of its weaker endpoint
+// (Seidman 1983), the classic degree-based backbone: Threshold(k-1)
+// yields the k-core.
+func KCoreScores(g *Graph) (*Scores, error) { return backbone.NewKCore().Scores(g) }
+
+// KCoreBackbone keeps the edges of the k-core: both endpoints survive
+// recursive removal of nodes with degree below k.
+func KCoreBackbone(g *Graph, k int) (*Graph, error) {
+	return backbone.NewKCore().Backbone(g, k)
+}
+
+// NCScoresParallel is NCScores computed on all CPUs; results are
+// bit-identical to the serial scorer.
+func NCScoresParallel(g *Graph) (*Scores, error) { return core.NewParallel().Scores(g) }
+
+// Comparison is a two-sample z-test between two edges' NC scores.
+type Comparison = core.Comparison
+
+// CompareEdges tests whether two edges differ significantly in strength
+// relative to their null expectations (the paper's suggested use of the
+// NC confidence intervals beyond pruning).
+func CompareEdges(a, b EdgeStats) Comparison { return core.CompareEdges(a, b) }
+
+// EdgeChange describes a significant edge evolution between two
+// observations of the same network.
+type EdgeChange = core.EdgeChange
+
+// Changes tests every edge present in either observation for a
+// significant change in noise-corrected strength, returning those with
+// two-tailed p-value at most alpha. It distinguishes real changes from
+// the spurious swings that raw weight differences cannot separate —
+// the paper's Section-VII research direction.
+func Changes(before, after *Graph, alpha float64) ([]EdgeChange, error) {
+	return core.Changes(before, after, alpha)
+}
+
+// DOTOptions controls WriteDOT rendering (node colors, sizes, widths).
+type DOTOptions = graph.DOTOptions
+
+// Bipartite is a two-mode incidence structure (e.g. occupations ×
+// skills) whose one-mode projection feeds the backboning algorithms.
+type Bipartite = graph.Bipartite
+
+// NewBipartite returns an empty two-mode incidence structure.
+func NewBipartite() *Bipartite { return graph.NewBipartite() }
+
+// Multilayer is a set of network layers over a shared node set, with a
+// coupled NC scorer that blends each layer's null model with the
+// relation's frequency in the other layers — the paper's Section-VII
+// multilayer extension. See internal/multilayer for the model.
+type Multilayer = multilayer.Multilayer
+
+// NewMultilayer returns an empty multilayer network over n shared nodes.
+func NewMultilayer(n int) *Multilayer { return multilayer.New(n) }

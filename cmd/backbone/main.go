@@ -1,0 +1,144 @@
+// Command backbone extracts a network backbone from a CSV edge list.
+//
+// Usage:
+//
+//	backbone -method nc -delta 1.64 [-directed] [-o out.csv] edges.csv
+//	backbone -method df -alpha 0.05 edges.csv
+//	backbone -method hss -salience 0.5 edges.csv
+//	backbone -method nt -threshold 10 edges.csv
+//	backbone -method kcore -threshold 3 edges.csv
+//	backbone -method mst edges.csv
+//	backbone -method ds edges.csv
+//	backbone -method nc -top 500 edges.csv        # fixed-size backbone
+//
+// The input is "src,dst,weight" lines (comma, tab or space separated;
+// '#' comments and a header row are skipped). The backbone is written
+// as CSV to -o (default stdout), and a summary goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/backbone"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		method    = flag.String("method", "nc", "backbone method: nc, nc-binomial, df, hss, ds, mst, nt, kcore")
+		directed  = flag.Bool("directed", false, "treat the edge list as directed")
+		delta     = flag.Float64("delta", 1.64, "nc: significance threshold in standard deviations")
+		alpha     = flag.Float64("alpha", 0.05, "df / nc-binomial: significance level")
+		salience  = flag.Float64("salience", 0.5, "hss: minimum salience")
+		threshold = flag.Float64("threshold", 0, "nt: minimum edge weight")
+		top       = flag.Int("top", 0, "keep exactly this many top-ranked edges (overrides per-method thresholds)")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: backbone [flags] edges.csv (use - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *method, *directed, *delta, *alpha, *salience, *threshold, *top, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "backbone:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, method string, directed bool, delta, alpha, salience, threshold float64, top int, out string) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := graph.ReadCSV(in, directed)
+	if err != nil {
+		return err
+	}
+
+	bb, err := extract(g, method, delta, alpha, salience, threshold, top)
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bb.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "input: %d nodes, %d edges; backbone: %d edges, %d non-isolated nodes (coverage %.1f%%)\n",
+		g.NumNodes(), g.NumEdges(), bb.NumEdges(), bb.NumConnected(),
+		100*float64(bb.NumConnected())/float64(max(1, g.NumConnected())))
+	return nil
+}
+
+func extract(g *graph.Graph, method string, delta, alpha, salience, threshold float64, top int) (*graph.Graph, error) {
+	var scorer filter.Scorer
+	var cut float64
+	switch method {
+	case "nc":
+		scorer, cut = core.New(), delta
+	case "nc-binomial":
+		s := core.NewBinomial()
+		if top > 0 {
+			scorer = s
+		} else {
+			return s.Backbone(g, alpha)
+		}
+	case "df":
+		scorer, cut = backbone.NewDisparity(), 1-alpha
+	case "hss":
+		scorer, cut = backbone.NewHSS(), salience
+	case "nt":
+		scorer, cut = backbone.NewNaive(), threshold
+	case "ds":
+		if top > 0 {
+			scorer = backbone.NewDoublyStochastic()
+		} else {
+			return backbone.NewDoublyStochastic().Extract(g)
+		}
+	case "kcore":
+		kc := backbone.NewKCore()
+		if top > 0 {
+			scorer = kc
+		} else {
+			return kc.Backbone(g, int(threshold))
+		}
+	case "mst":
+		return backbone.NewMST().Extract(g)
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+	s, err := scorer.Scores(g)
+	if err != nil {
+		return nil, err
+	}
+	if top > 0 {
+		return s.TopK(top), nil
+	}
+	return s.Threshold(cut), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

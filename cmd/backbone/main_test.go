@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	csv := "a,b,10\na,c,9\nb,c,1\nc,d,8\nd,e,7\nc,e,2\nd,a,6\ne,b,5\n"
+	g, err := graph.ReadCSV(strings.NewReader(csv), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExtractAllMethods(t *testing.T) {
+	g := testGraph(t)
+	for _, method := range []string{"nc", "nc-binomial", "df", "hss", "ds", "mst", "nt"} {
+		bb, err := extract(g, method, 0.5, 0.5, 0.3, 4, 0)
+		if err != nil {
+			t.Errorf("%s: %v", method, err)
+			continue
+		}
+		if bb.NumNodes() != g.NumNodes() {
+			t.Errorf("%s: node set changed", method)
+		}
+	}
+	if _, err := extract(g, "bogus", 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestExtractTopOverride(t *testing.T) {
+	g := testGraph(t)
+	for _, method := range []string{"nc", "nc-binomial", "df", "hss", "ds", "nt"} {
+		bb, err := extract(g, method, 0, 0, 0, 0, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if bb.NumEdges() != 3 {
+			t.Errorf("%s: -top 3 kept %d edges", method, bb.NumEdges())
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(in, []byte("a,b,10\nb,c,9\nc,a,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "nt", false, 0, 0, 0, 5, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadCSV(strings.NewReader(string(data)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("threshold 5 kept %d edges, want 2", g.NumEdges())
+	}
+	if err := run(filepath.Join(dir, "missing.csv"), "nt", false, 0, 0, 0, 0, 0, ""); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Command experiments regenerates the tables and figures of Coscia &
+// Neffke, "Network Backboning with Noisy Data" (ICDE 2017) on the
+// synthetic substitute datasets documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [flags] <artifact>...
+//
+// where artifact is one or more of: fig1 fig2 fig3 fig4 fig5 fig6 fig7
+// fig8 fig9 table1 table2 casestudy ablation all. The country-network
+// experiments share one synthetic world, controlled by -seed,
+// -countries and -years.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/occupations"
+	"repro/internal/world"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1701, "world random seed")
+		countries = flag.Int("countries", 120, "number of synthetic countries")
+		years     = flag.Int("years", 4, "observation years per network")
+		fullScale = flag.Bool("full", false, "paper-scale settings (slower)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|...|fig9|table1|table2|casestudy|ablation|noise|changes|all")
+		os.Exit(2)
+	}
+	cfg := world.Config{Seed: *seed, Countries: *countries, Years: *years, Products: 400}
+	if *fullScale {
+		cfg = world.DefaultConfig()
+		cfg.Seed = *seed
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	all := want["all"]
+
+	var country *exp.Country
+	needCountry := all || want["fig2"] || want["fig5"] || want["fig6"] ||
+		want["fig7"] || want["fig8"] || want["table1"] || want["table2"] ||
+		want["noise"] || want["changes"]
+	if needCountry {
+		fmt.Fprintf(os.Stderr, "generating synthetic world (%d countries, %d years, seed %d)...\n",
+			cfg.Countries, cfg.Years, cfg.Seed)
+		country = exp.NewCountry(cfg)
+	}
+
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig1", func() error {
+		r, err := exp.Fig1(1, 151, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("fig2", func() error {
+		for _, name := range []string{"Country Space", "Business"} {
+			ds, err := country.W.DatasetByName(name)
+			if err != nil {
+				return err
+			}
+			r, err := exp.Fig2(name, ds.Latest(), []float64{1, 2, 3}, 24)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+		}
+		return nil
+	})
+	run("fig3", func() error {
+		rows, err := exp.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.Fig3Table(rows).Render())
+		return nil
+	})
+	run("fig4", func() error {
+		c := exp.DefaultFig4Config()
+		r, err := exp.Fig4(c)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("fig5", func() error {
+		fmt.Println(exp.Fig5(country).Table().Render())
+		return nil
+	})
+	run("fig6", func() error {
+		fmt.Println(exp.Fig6(country).Table().Render())
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := exp.Fig7(country)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := exp.Fig8(country)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("fig9", func() error {
+		c := exp.DefaultFig9Config()
+		if !*fullScale {
+			c.NodeCounts = []int{5_000, 10_000, 20_000, 40_000, 80_000}
+		}
+		r, err := exp.Fig9(c)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("table1", func() error {
+		r, err := exp.Table1(country)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("table2", func() error {
+		r, err := exp.Table2(country)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("casestudy", func() error {
+		r, err := exp.CaseStudy(occupations.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("noise", func() error {
+		r, err := exp.Noise(country, 0.1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("changes", func() error {
+		for _, name := range []string{"Business", "Trade"} {
+			ds, err := country.W.DatasetByName(name)
+			if err != nil {
+				return err
+			}
+			r, err := exp.Changes(ds, 0.01, 12)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Table().Render())
+		}
+		return nil
+	})
+	run("ablation", func() error {
+		r, err := exp.Ablation(exp.DefaultFig4Config())
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		return nil
+	})
+}

@@ -1,0 +1,97 @@
+// Command worldgen materializes the synthetic country datasets to disk
+// as CSV bundles — the stand-in for the country networks the paper
+// releases alongside its Python module ("to ensure result
+// reproducibility, we also release some of the country networks used in
+// this paper").
+//
+// Usage:
+//
+//	worldgen -out data/ [-seed 1701] [-countries 180] [-years 4] [dataset...]
+//
+// With no dataset arguments all six are written. Each dataset produces
+// one edge list per observation year (e.g. trade_y0.csv), and the tool
+// additionally writes countries.csv with the node attributes used by
+// the paper's regressions (population, coordinates, language group,
+// measured complexity).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/world"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "data", "output directory")
+		seed      = flag.Int64("seed", 1701, "world seed")
+		countries = flag.Int("countries", 180, "number of countries")
+		years     = flag.Int("years", 4, "observation years")
+	)
+	flag.Parse()
+	if err := run(*out, *seed, *countries, *years, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, countries, years int, names []string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	w := world.New(world.Config{Seed: seed, Countries: countries, Years: years})
+	if len(names) == 0 {
+		names = []string{"business", "cs", "flight", "migration", "ownership", "trade"}
+	}
+	for _, name := range names {
+		ds, err := w.DatasetByName(name)
+		if err != nil {
+			return err
+		}
+		slug := strings.ReplaceAll(strings.ToLower(ds.Name), " ", "_")
+		for yi, g := range ds.Years {
+			path := filepath.Join(out, fmt.Sprintf("%s_y%d.csv", slug, yi))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := g.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d edges)\n", path, g.NumEdges())
+		}
+	}
+	return writeCountries(filepath.Join(out, "countries.csv"), w)
+}
+
+func writeCountries(path string, w *world.World) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "name,population,lat,lon,language,eci,airhub"); err != nil {
+		return err
+	}
+	eci := w.MeasuredECI()
+	for i, c := range w.Countries {
+		hub := 0
+		if w.AirHub[i] {
+			hub = 1
+		}
+		if _, err := fmt.Fprintf(f, "%s,%.0f,%.4f,%.4f,%d,%.4f,%d\n",
+			c.Name, c.Population, c.Lat, c.Lon, c.Language, eci[i], hub); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d countries)\n", path, len(w.Countries))
+	return nil
+}

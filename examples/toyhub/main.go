@@ -1,0 +1,82 @@
+// Toyhub reproduces the paper's Figure 3: the qualitative difference
+// between the Noise-Corrected backbone and the Disparity Filter on a
+// six-node hub example.
+//
+// A hub (node 1) dispenses heavy edges to nodes 4-6 and lighter ones to
+// nodes 2-3; nodes 2 and 3 also share a weak direct edge. From the
+// hub's perspective, hub edges are unremarkable — the hub connects to
+// everything. But from each peripheral node's own perspective (the only
+// one the Disparity Filter takes), the hub edge is its entire strength,
+// so DF keeps hub spokes and discards the genuinely surprising 2-3 tie.
+// The bilateral NC null model ranks 2-3 at the top instead.
+//
+// Run with: go run ./examples/toyhub
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	b := repro.NewBuilder(false)
+	for i := 1; i <= 6; i++ {
+		b.AddNode(fmt.Sprintf("%d", i))
+	}
+	// Hub edges: 1-2 and 1-3 weak, 1-4..1-6 heavy.
+	hub := []struct {
+		to int
+		w  float64
+	}{{2, 6}, {3, 6}, {4, 20}, {5, 20}, {6, 20}}
+	for _, e := range hub {
+		b.MustAddEdge(0, e.to-1, e.w)
+	}
+	b.MustAddEdge(1, 2, 4) // the weak peripheral 2-3 edge
+	g := b.Build()
+
+	nc, err := repro.NCScores(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	df, err := repro.DisparityScores(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		edge           string
+		weight         float64
+		ncRank, dfRank int
+	}
+	rank := func(score []float64) []int {
+		idx := make([]int, len(score))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return score[idx[a]] > score[idx[b]] })
+		r := make([]int, len(score))
+		for pos, id := range idx {
+			r[id] = pos + 1
+		}
+		return r
+	}
+	ncR, dfR := rank(nc.Score), rank(df.Score)
+	rows := make([]row, g.NumEdges())
+	for id, e := range g.Edges() {
+		rows[id] = row{
+			edge:   g.Label(int(e.Src)) + "-" + g.Label(int(e.Dst)),
+			weight: e.Weight, ncRank: ncR[id], dfRank: dfR[id],
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ncRank < rows[b].ncRank })
+
+	fmt.Println("edge   weight  NC rank  DF rank")
+	for _, r := range rows {
+		fmt.Printf("%-6s %6.0f  %7d  %7d\n", r.edge, r.weight, r.ncRank, r.dfRank)
+	}
+	fmt.Println("\nNC promotes the unanticipated 2-3 tie between weak nodes;")
+	fmt.Println("DF promotes the hub's spokes, each dominant from its own endpoint.")
+}

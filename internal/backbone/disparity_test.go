@@ -1,0 +1,177 @@
+package backbone
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestDisparityAlphaFormula(t *testing.T) {
+	// Node with strength 10 and degree 3; edge of weight 6:
+	// alpha = (1 - 0.6)^2 = 0.16.
+	if got := alphaFor(6, 10, 3); math.Abs(got-0.16) > 1e-12 {
+		t.Errorf("alphaFor = %v, want 0.16", got)
+	}
+	// Degree-1 node: no evidence, alpha = 1.
+	if got := alphaFor(5, 5, 1); got != 1 {
+		t.Errorf("k=1 alpha = %v, want 1", got)
+	}
+	// Full share: alpha = 0.
+	if got := alphaFor(10, 10, 3); got != 0 {
+		t.Errorf("p=1 alpha = %v, want 0", got)
+	}
+	if got := alphaFor(1, 0, 3); got != 1 {
+		t.Errorf("zero strength alpha = %v, want 1", got)
+	}
+}
+
+func TestDisparityStar(t *testing.T) {
+	// Star: hub 0 with 4 spokes, one dominant spoke. From the hub's
+	// perspective the dominant edge has small alpha; the others large.
+	b := graph.NewBuilder(false)
+	b.AddNodes(5)
+	b.MustAddEdge(0, 1, 100)
+	b.MustAddEdge(0, 2, 1)
+	b.MustAddEdge(0, 3, 1)
+	b.MustAddEdge(0, 4, 1)
+	g := b.Build()
+	s, err := NewDisparity().Scores(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dom, weak int = -1, -1
+	for i, e := range g.Edges() {
+		if e.Weight == 100 {
+			dom = i
+		} else if weak < 0 {
+			weak = i
+		}
+	}
+	if s.Score[dom] <= s.Score[weak] {
+		t.Errorf("dominant spoke score %v <= weak spoke %v", s.Score[dom], s.Score[weak])
+	}
+	// Hand check the dominant edge: from hub, p = 100/103, k = 4:
+	// alpha_hub = (3/103)^3; from spoke, k = 1: alpha = 1. Min wins.
+	want := math.Pow(3.0/103.0, 3)
+	if got := s.Aux["alpha"][dom]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("alpha = %v, want %v", got, want)
+	}
+}
+
+func TestDisparityDirectedUsesBothEnds(t *testing.T) {
+	// Edge u->v: u has a single outgoing edge (alpha_out = 1) but v
+	// receives from many sources, one dominant — the test from v's side
+	// must make the dominant incoming edge significant.
+	b := graph.NewBuilder(true)
+	u := b.AddNode("u")
+	v := b.AddNode("v")
+	b.MustAddEdge(u, v, 50)
+	for i := 0; i < 5; i++ {
+		w := b.AddNode("")
+		b.MustAddEdge(w, v, 1)
+	}
+	g := b.Build()
+	s, err := NewDisparity().Scores(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var strong int = -1
+	for i, e := range g.Edges() {
+		if e.Weight == 50 {
+			strong = i
+		}
+	}
+	// From u: k_out = 1 => alpha 1. From v: p = 50/55, k_in = 6.
+	want := math.Pow(5.0/55.0, 5)
+	if got := s.Aux["alpha"][strong]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("alpha = %v, want %v (receiver-side test)", got, want)
+	}
+}
+
+// The paper's central criticism of DF (Figure 3): a peripheral node's
+// edge to a hub looks significant from the peripheral side even when
+// the hub's attraction makes it unremarkable. Verify DF indeed keeps
+// periphery->hub edges that NC ranks low — the toy-example experiment
+// depends on this behaviour.
+func TestDisparityKeepsPeripheryHubEdges(t *testing.T) {
+	g := toyHubGraph()
+	s, err := NewDisparity().Scores(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(u, v int32) int {
+		for i, e := range g.Edges() {
+			if (e.Src == u && e.Dst == v) || (e.Src == v && e.Dst == u) {
+				return i
+			}
+		}
+		t.Fatalf("edge %d-%d not found", u, v)
+		return -1
+	}
+	// Hub-to-pure-peripheral edges (1-4, 1-5, 1-6 in paper numbering)
+	// must rank above the 2-3 peripheral-peripheral edge under DF: from
+	// the peripheral side, the hub edge is the node's whole strength.
+	e23 := idx(1, 2)
+	for _, pair := range [][2]int32{{0, 3}, {0, 4}, {0, 5}} {
+		he := idx(pair[0], pair[1])
+		if s.Score[he] <= s.Score[e23] {
+			t.Errorf("DF: hub edge %v should outrank peripheral edge 2-3 (%v <= %v)",
+				pair, s.Score[he], s.Score[e23])
+		}
+	}
+}
+
+// toyHubGraph builds the paper's Figure 3 example: hub node 1 connected
+// to five nodes (2..6) with strong edges; nodes 2 and 3 also share a
+// weaker edge. IDs: paper node k has ID k-1.
+func toyHubGraph() *graph.Graph {
+	b := graph.NewBuilder(false)
+	b.AddNodes(6)
+	hubW := []float64{6, 6, 20, 20, 20} // 1-2, 1-3, 1-4, 1-5, 1-6
+	for i, w := range hubW {
+		b.MustAddEdge(0, i+1, w)
+	}
+	b.MustAddEdge(1, 2, 4) // the 2-3 edge, weaker than any hub edge
+	return b.Build()
+}
+
+// Property: DF alpha values are in [0, 1] and scores ordered opposite
+// to alpha.
+func TestQuickDisparityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := graph.NewBuilder(rng.Intn(2) == 0)
+		b.AddNodes(n)
+		for k := 0; k < 4*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.MustAddEdge(u, v, 1+rng.Float64()*100)
+			}
+		}
+		g := b.Build()
+		if g.NumEdges() == 0 {
+			return true
+		}
+		s, err := NewDisparity().Scores(g)
+		if err != nil {
+			return false
+		}
+		for i := range s.Score {
+			a := s.Aux["alpha"][i]
+			if a < 0 || a > 1 {
+				return false
+			}
+			if math.Abs(s.Score[i]-(1-a)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package community
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func twoCliquesBridge() (*graph.Graph, []int) {
+	b := graph.NewBuilder(false)
+	b.AddNodes(8)
+	clique := func(nodes []int) {
+		for i := range nodes {
+			for j := i + 1; j < len(nodes); j++ {
+				b.MustAddEdge(nodes[i], nodes[j], 1)
+			}
+		}
+	}
+	clique([]int{0, 1, 2, 3})
+	clique([]int{4, 5, 6, 7})
+	b.MustAddEdge(3, 4, 0.5)
+	truth := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	return b.Build(), truth
+}
+
+func TestModularityKnownValues(t *testing.T) {
+	g, truth := twoCliquesBridge()
+	qTruth := Modularity(g, truth)
+	one := make([]int, 8) // everything in one community
+	qOne := Modularity(g, one)
+	if math.Abs(qOne) > 1e-12 {
+		t.Errorf("single-community modularity = %v, want 0", qOne)
+	}
+	if qTruth <= 0.3 {
+		t.Errorf("true partition modularity = %v, want clearly positive", qTruth)
+	}
+	// Random-ish bad partition scores lower.
+	bad := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	if qBad := Modularity(g, bad); qBad >= qTruth {
+		t.Errorf("bad partition %v >= truth %v", qBad, qTruth)
+	}
+}
+
+func TestModularityUpperBound(t *testing.T) {
+	g, truth := twoCliquesBridge()
+	if q := Modularity(g, truth); q >= 1 {
+		t.Errorf("modularity %v >= 1", q)
+	}
+}
+
+func TestLouvainRecoversCliques(t *testing.T) {
+	g, truth := twoCliquesBridge()
+	part := Louvain(g, rand.New(rand.NewSource(1)))
+	if got := NMI(part, truth); got < 0.99 {
+		t.Errorf("Louvain NMI vs truth = %v, want 1", got)
+	}
+	if q := Modularity(g, part); q < Modularity(g, truth)-1e-9 {
+		t.Errorf("Louvain modularity %v below truth partition", q)
+	}
+}
+
+func TestLouvainOnPlantedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, truth := gen.PlantedPartition(rng, 100, 4, 0.6, 0.02)
+	part := Louvain(g, rng)
+	if got := NMI(part, truth); got < 0.85 {
+		t.Errorf("Louvain NMI on planted partition = %v", got)
+	}
+}
+
+func TestCodeLengthOneModuleIsEntropy(t *testing.T) {
+	g, _ := twoCliquesBridge()
+	one := make([]int, 8)
+	l := CodeLength(g, one)
+	// Entropy of stationary visit rates.
+	u := g.Undirected()
+	var twoM float64
+	for v := 0; v < u.NumNodes(); v++ {
+		twoM += u.OutStrength(v)
+	}
+	var h float64
+	for v := 0; v < u.NumNodes(); v++ {
+		h -= plogp(u.OutStrength(v) / twoM)
+	}
+	if math.Abs(l-h) > 1e-9 {
+		t.Errorf("one-module codelength %v != visit-rate entropy %v", l, h)
+	}
+}
+
+func TestCodeLengthBetterWithTrueModules(t *testing.T) {
+	g, truth := twoCliquesBridge()
+	one := make([]int, 8)
+	lOne := CodeLength(g, one)
+	lTruth := CodeLength(g, truth)
+	if lTruth >= lOne {
+		t.Errorf("true partition codelength %v >= one-module %v", lTruth, lOne)
+	}
+	// Singletons are worse than the true modules.
+	singles := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if ls := CodeLength(g, singles); ls <= lTruth {
+		t.Errorf("singleton codelength %v <= truth %v", ls, lTruth)
+	}
+}
+
+func TestInfomapRecoversCliques(t *testing.T) {
+	g, truth := twoCliquesBridge()
+	part := Infomap(g, rand.New(rand.NewSource(3)))
+	if got := NMI(part, truth); got < 0.99 {
+		t.Errorf("Infomap NMI = %v, want 1", got)
+	}
+	// The found partition's codelength must not exceed the truth's.
+	if lFound, lTruth := CodeLength(g, part), CodeLength(g, truth); lFound > lTruth+1e-9 {
+		t.Errorf("Infomap codelength %v > truth %v", lFound, lTruth)
+	}
+}
+
+func TestInfomapOnPlantedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, truth := gen.PlantedPartition(rng, 90, 3, 0.6, 0.02)
+	part := Infomap(g, rng)
+	if got := NMI(part, truth); got < 0.85 {
+		t.Errorf("Infomap NMI on planted partition = %v", got)
+	}
+}
+
+func TestNMIProperties(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI(a,a) = %v", got)
+	}
+	// Relabeling leaves NMI at 1.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NMI under relabel = %v", got)
+	}
+	// Independence: one grouping carries no information about the other.
+	x := []int{0, 0, 1, 1}
+	y := []int{0, 1, 0, 1}
+	if got := NMI(x, y); math.Abs(got) > 1e-12 {
+		t.Errorf("NMI independent = %v", got)
+	}
+	if !math.IsNaN(NMI(a, []int{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if got := NMI([]int{0, 0}, []int{3, 3}); got != 1 {
+		t.Errorf("two single-cluster partitions: NMI = %v, want 1", got)
+	}
+}
+
+// Property: NMI is symmetric and within [0, 1] (up to epsilon).
+func TestQuickNMISymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(5)
+			b[i] = rng.Intn(5)
+		}
+		x := NMI(a, b)
+		y := NMI(b, a)
+		if math.IsNaN(x) {
+			return true
+		}
+		return math.Abs(x-y) < 1e-9 && x >= -1e-9 && x <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any partition, the map-equation codelength is
+// non-negative and no better than the best of (one module, singletons)
+// minus nothing — i.e., finite and consistent under label permutation.
+func TestQuickCodeLengthLabelInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := gen.PlantedPartition(rng, 30, 3, 0.5, 0.1)
+		part := make([]int, 30)
+		for i := range part {
+			part[i] = rng.Intn(4)
+		}
+		l1 := CodeLength(g, part)
+		// Permute labels.
+		perm := map[int]int{0: 7, 1: 3, 2: 9, 3: 1}
+		part2 := make([]int, len(part))
+		for i := range part {
+			part2[i] = perm[part[i]]
+		}
+		l2 := CodeLength(g, part2)
+		return l1 >= 0 && math.Abs(l1-l2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Louvain never returns a partition with modularity below the
+// all-singletons or one-module baselines.
+func TestQuickLouvainBeatsBaselines(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := gen.PlantedPartition(rng, 40, 2+rng.Intn(3), 0.5, 0.05)
+		part := Louvain(g, rng)
+		q := Modularity(g, part)
+		one := make([]int, 40)
+		singles := make([]int, 40)
+		for i := range singles {
+			singles[i] = i
+		}
+		return q >= Modularity(g, one)-1e-9 && q >= Modularity(g, singles)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package community
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Modularity returns Newman's weighted modularity of a partition:
+//
+//	Q = (1/2m) Σ_ij (A_ij - k_i k_j / 2m) δ(c_i, c_j),
+//
+// computed on the undirected (symmetrized) view of g. This is the
+// metric the case study reports for the expert two-digit occupation
+// classification on each backbone (NC 0.192 vs DF 0.115).
+func Modularity(g *graph.Graph, part []int) float64 {
+	a := newAdj(g)
+	return a.modularity(part)
+}
+
+func (a *adj) modularity(part []int) float64 {
+	if a.total == 0 {
+		return 0
+	}
+	twoM := 2 * a.total
+	// Per-community: internal weight (each edge once) and strength sum.
+	intw := map[int]float64{}
+	str := map[int]float64{}
+	for u := 0; u < a.n; u++ {
+		c := part[u]
+		str[c] += a.strength(u)
+		intw[c] += a.self[u]
+		for v, w := range a.nbr[u] {
+			if u < v && part[v] == c {
+				intw[c] += w
+			}
+		}
+	}
+	q := 0.0
+	for _, iw := range intw {
+		q += 2 * iw / twoM
+	}
+	for _, s := range str {
+		q -= (s / twoM) * (s / twoM)
+	}
+	return q
+}
+
+// Louvain greedily maximizes modularity with the two-phase method of
+// Blondel et al.: sweep local node moves to the best neighboring
+// community until no gain, aggregate communities into supernodes, and
+// repeat. The rng fixes tie-breaking and sweep order, making runs
+// reproducible.
+func Louvain(g *graph.Graph, rng *rand.Rand) []int {
+	a := newAdj(g)
+	part := make([]int, a.n) // partition of current-level supernodes
+	for i := range part {
+		part[i] = i
+	}
+	assign := make([]int, a.n) // final assignment of original nodes
+	for i := range assign {
+		assign[i] = i
+	}
+	for {
+		improved := a.localMoveModularity(part, rng)
+		k := densify(part)
+		// Project this level's labels onto the original nodes.
+		for i := range assign {
+			assign[i] = part[assign[i]]
+		}
+		if !improved || k == a.n {
+			break
+		}
+		a = a.aggregate(part, k)
+		part = make([]int, k)
+		for i := range part {
+			part[i] = i
+		}
+	}
+	densify(assign)
+	return assign
+}
+
+// localMoveModularity sweeps nodes, moving each to the neighboring
+// community with the highest modularity gain, until a full sweep makes
+// no move. Reports whether any move happened.
+func (a *adj) localMoveModularity(part []int, rng *rand.Rand) bool {
+	twoM := 2 * a.total
+	if twoM == 0 {
+		return false
+	}
+	// Community strength sums.
+	commStr := make(map[int]float64)
+	for u := 0; u < a.n; u++ {
+		commStr[part[u]] += a.strength(u)
+	}
+	anyMove := false
+	for {
+		moved := false
+		for _, u := range shuffled(rng, a.n) {
+			cu := part[u]
+			ku := a.strength(u)
+			// Weight from u to each adjacent community.
+			wTo := map[int]float64{}
+			for v, w := range a.nbr[u] {
+				wTo[part[v]] += w
+			}
+			commStr[cu] -= ku
+			bestC, bestGain := cu, 0.0
+			baseline := wTo[cu] - commStr[cu]*ku/twoM
+			for c, w := range wTo {
+				if c == cu {
+					continue
+				}
+				gain := (w - commStr[c]*ku/twoM) - baseline
+				if gain > bestGain+1e-12 {
+					bestGain, bestC = gain, c
+				}
+			}
+			commStr[bestC] += ku
+			if bestC != cu {
+				part[u] = bestC
+				moved = true
+				anyMove = true
+			}
+		}
+		if !moved {
+			return anyMove
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package community
+
+import "math"
+
+// NMI returns the normalized mutual information between two partitions
+// of the same node set, using arithmetic-mean normalization
+// 2·I(A;B)/(H(A)+H(B)) in bits. 1 means identical partitions (up to
+// relabeling), 0 means independence. The case study compares Infomap
+// communities on each backbone against the two-digit occupation
+// classification with this measure (NC 0.423 vs DF 0.401).
+func NMI(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	n := float64(len(a))
+	ca := map[int]float64{}
+	cb := map[int]float64{}
+	joint := map[[2]int]float64{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	var ha, hb float64
+	for _, c := range ca {
+		ha -= plogp(c / n)
+	}
+	for _, c := range cb {
+		hb -= plogp(c / n)
+	}
+	var mi float64
+	for key, c := range joint {
+		pxy := c / n
+		px := ca[key[0]] / n
+		py := cb[key[1]] / n
+		mi += pxy * math.Log2(pxy/(px*py))
+	}
+	if ha+hb == 0 {
+		// Both partitions are single clusters: identical by convention.
+		return 1
+	}
+	return 2 * mi / (ha + hb)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/filter"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// BinomialPValues implements the alternative NC variant described in
+// footnote 2 of the paper: skip the lift transformation and read the
+// p-value of each edge weight directly off the null model's Binomial
+// distribution, with N.. draws and success probability
+// N_i. N_.j / N..². The variant cannot express a standard deviation for
+// an edge weight (so two edges cannot be compared statistically), but
+// it is a useful ablation against the delta-method score.
+//
+// It implements filter.Scorer; the canonical Score is -log10(p-value),
+// so Threshold(-log10(α)) keeps edges significant at level α.
+type BinomialPValues struct{}
+
+// NewBinomial returns a BinomialPValues scorer.
+func NewBinomial() *BinomialPValues { return &BinomialPValues{} }
+
+// Name implements filter.Scorer.
+func (*BinomialPValues) Name() string { return "nc-binomial" }
+
+// Scores computes upper-tail Binomial p-values per edge.
+// Aux column "pvalue" carries the raw p-values.
+func (b *BinomialPValues) Scores(g *graph.Graph) (*filter.Scores, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	m := g.NumEdges()
+	out := &filter.Scores{
+		G:      g,
+		Score:  make([]float64, m),
+		Method: b.Name(),
+		Aux:    map[string][]float64{"pvalue": make([]float64, m)},
+	}
+	n := g.TotalWeight()
+	for id, e := range g.Edges() {
+		ni := g.OutStrength(int(e.Src))
+		nj := g.InStrength(int(e.Dst))
+		p := ni * nj / (n * n)
+		pv := stats.BinomialSF(e.Weight, n, p)
+		out.Aux["pvalue"][id] = pv
+		if pv <= 0 {
+			out.Score[id] = math.Inf(1)
+		} else {
+			out.Score[id] = -math.Log10(pv)
+		}
+	}
+	return out, nil
+}
+
+// Backbone keeps edges whose Binomial p-value is below alpha.
+func (b *BinomialPValues) Backbone(g *graph.Graph, alpha float64) (*graph.Graph, error) {
+	s, err := b.Scores(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.Threshold(-math.Log10(alpha)), nil
+}

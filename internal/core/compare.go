@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// This file implements the inferential uses of the NC confidence
+// intervals beyond pruning, which the paper singles out ("the
+// confidence intervals the algorithm produces can also be used more
+// generally, for instance to determine whether two edges differ
+// significantly from one another in strength") and names as future
+// work ("we plan to study whether it is possible to distinguish real
+// from spurious changes in networks", Section VII).
+
+// Comparison reports a two-sample z-test between two edge scores.
+type Comparison struct {
+	// Diff is the difference between the first and second symmetrized
+	// lift scores.
+	Diff float64
+	// Sdev is the standard deviation of Diff under independence.
+	Sdev float64
+	// Z is Diff / Sdev.
+	Z float64
+	// PValue is the two-tailed p-value of observing |Z| or larger.
+	PValue float64
+}
+
+// CompareEdges tests whether two edges differ significantly in strength
+// relative to their null expectations. Both EdgeStats should come from
+// ComputeEdge (or the Scores table) of the same or comparable networks.
+func CompareEdges(a, b EdgeStats) Comparison {
+	return compareScores(a.Score, a.Variance, b.Score, b.Variance)
+}
+
+func compareScores(s1, v1, s2, v2 float64) Comparison {
+	c := Comparison{Diff: s1 - s2, Sdev: math.Sqrt(v1 + v2)}
+	if c.Sdev > 0 {
+		c.Z = c.Diff / c.Sdev
+		c.PValue = 2 * (1 - stats.NormalCDF(math.Abs(c.Z)))
+	} else if c.Diff != 0 {
+		c.Z = math.Inf(sign(c.Diff))
+		c.PValue = 0
+	} else {
+		c.PValue = 1
+	}
+	return c
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// EdgeChange describes the significance of an edge's evolution between
+// two observations of the same network.
+type EdgeChange struct {
+	Key graph.EdgeKey
+	// WeightBefore and WeightAfter are the raw weights (0 if absent).
+	WeightBefore, WeightAfter float64
+	// ScoreBefore and ScoreAfter are the symmetrized lifts: comparing
+	// them nets out global growth, since lifts are relative to each
+	// year's own margins.
+	ScoreBefore, ScoreAfter float64
+	// Comparison tests ScoreAfter - ScoreBefore against the pooled
+	// posterior variance.
+	Comparison
+}
+
+// Changes tests every edge present in either observation for a
+// significant change in its noise-corrected strength. An edge absent
+// from one observation is scored there with weight zero (score -1 and
+// the posterior variance of a zero-weight pair). Results are returned
+// for edges whose two-tailed p-value is at most alpha; pass alpha = 1
+// to get every edge.
+//
+// Distinguishing real from spurious changes is precisely what raw
+// weight differences cannot do in noisy data: a weight doubling on a
+// thin edge is routine measurement noise, while a modest shift on a
+// well-measured heavy edge can be overwhelming evidence.
+func Changes(before, after *graph.Graph, alpha float64) ([]EdgeChange, error) {
+	if before.Directed() != after.Directed() {
+		return nil, fmt.Errorf("core: cannot compare a directed with an undirected network")
+	}
+	type obs struct {
+		weight float64
+		stats  EdgeStats
+	}
+	collect := func(g *graph.Graph) map[graph.EdgeKey]obs {
+		n := g.TotalWeight()
+		m := make(map[graph.EdgeKey]obs, g.NumEdges())
+		for _, e := range g.Edges() {
+			m[g.Key(e)] = obs{
+				weight: e.Weight,
+				stats:  ComputeEdge(e.Weight, g.OutStrength(int(e.Src)), g.InStrength(int(e.Dst)), n),
+			}
+		}
+		return m
+	}
+	// statsFor returns the observation for key in g, falling back to a
+	// zero-weight evaluation against g's margins when the edge is absent.
+	statsFor := func(g *graph.Graph, m map[graph.EdgeKey]obs, key graph.EdgeKey) obs {
+		if o, ok := m[key]; ok {
+			return o
+		}
+		return obs{stats: ComputeEdge(0,
+			g.OutStrength(int(key.U)), g.InStrength(int(key.V)), g.TotalWeight())}
+	}
+
+	mb := collect(before)
+	ma := collect(after)
+	keys := make(map[graph.EdgeKey]bool, len(mb)+len(ma))
+	for k := range mb {
+		keys[k] = true
+	}
+	for k := range ma {
+		keys[k] = true
+	}
+	var out []EdgeChange
+	for key := range keys {
+		if int(key.U) >= before.NumNodes() || int(key.V) >= before.NumNodes() ||
+			int(key.U) >= after.NumNodes() || int(key.V) >= after.NumNodes() {
+			return nil, fmt.Errorf("core: node %v outside the smaller network's node set", key)
+		}
+		ob := statsFor(before, mb, key)
+		oa := statsFor(after, ma, key)
+		cmp := compareScores(oa.stats.Score, oa.stats.Variance, ob.stats.Score, ob.stats.Variance)
+		if cmp.PValue <= alpha {
+			out = append(out, EdgeChange{
+				Key:          key,
+				WeightBefore: ob.weight,
+				WeightAfter:  oa.weight,
+				ScoreBefore:  ob.stats.Score,
+				ScoreAfter:   oa.stats.Score,
+				Comparison:   cmp,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func TestCompareEdgesIdentical(t *testing.T) {
+	a := ComputeEdge(10, 50, 40, 1000)
+	c := CompareEdges(a, a)
+	if c.Diff != 0 || math.Abs(c.PValue-1) > 1e-12 {
+		t.Errorf("identical edges: diff=%v p=%v", c.Diff, c.PValue)
+	}
+}
+
+func TestCompareEdgesClearDifference(t *testing.T) {
+	// Heavily over-expressed vs heavily under-expressed, both well
+	// measured: the difference must be overwhelming.
+	hi := ComputeEdge(200, 300, 300, 10000) // lift >> 1
+	lo := ComputeEdge(1, 300, 300, 10000)   // lift << 1
+	c := CompareEdges(hi, lo)
+	if c.Z < 3 {
+		t.Errorf("z = %v, want clearly significant", c.Z)
+	}
+	if c.PValue > 0.01 {
+		t.Errorf("p = %v, want < 0.01", c.PValue)
+	}
+	// Anti-symmetry.
+	r := CompareEdges(lo, hi)
+	if math.Abs(r.Z+c.Z) > 1e-12 {
+		t.Errorf("comparison not antisymmetric: %v vs %v", r.Z, c.Z)
+	}
+}
+
+func TestCompareEdgesThinMarginsNotSignificant(t *testing.T) {
+	// The same lifts on much thinner margins should NOT be significant:
+	// the posterior variance knows the measurement is poor.
+	hi := ComputeEdge(3, 5, 5, 10000)
+	lo := ComputeEdge(1, 5, 5, 10000)
+	c := CompareEdges(hi, lo)
+	if c.PValue < 0.05 {
+		t.Errorf("thin-margin comparison p = %v, want insignificant", c.PValue)
+	}
+}
+
+// Property: the two-tailed p-value is in [0,1] and decreases as the
+// score gap grows with variances held fixed.
+func TestQuickComparePValueMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1000 + rng.Float64()*1e6
+		ni := 10 + rng.Float64()*100
+		nj := 10 + rng.Float64()*100
+		base := ComputeEdge(1, ni, nj, n)
+		prevP := 1.1
+		for _, w := range []float64{1, 2, 4, 8} {
+			e := ComputeEdge(w, ni, nj, n)
+			c := CompareEdges(e, base)
+			if c.PValue < 0 || c.PValue > 1 {
+				return false
+			}
+			if c.PValue > prevP+1e-12 {
+				return false
+			}
+			prevP = c.PValue
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func yearPair(t *testing.T, changeEdge bool) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	build := func(boost float64) *graph.Graph {
+		b := graph.NewBuilder(false)
+		b.AddNodes(12)
+		for i := 0; i < 12; i++ {
+			for j := i + 1; j < 12; j++ {
+				lam := 20.0
+				if i == 0 && j == 1 {
+					lam *= boost
+				}
+				w := float64(stats.SamplePoisson(rng, lam))
+				if w > 0 {
+					b.MustAddEdge(i, j, w)
+				}
+			}
+		}
+		return b.Build()
+	}
+	g0 := build(1)
+	boost := 1.0
+	if changeEdge {
+		boost = 8
+	}
+	g1 := build(boost)
+	return g0, g1
+}
+
+func TestChangesDetectsPlantedShift(t *testing.T) {
+	g0, g1 := yearPair(t, true)
+	changes, err := Changes(g0, g1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ch := range changes {
+		if ch.Key == (graph.EdgeKey{U: 0, V: 1}) {
+			found = true
+			if ch.ScoreAfter <= ch.ScoreBefore {
+				t.Errorf("planted boost: score went %v -> %v", ch.ScoreBefore, ch.ScoreAfter)
+			}
+			if ch.WeightAfter <= ch.WeightBefore {
+				t.Errorf("planted boost: weight went %v -> %v", ch.WeightBefore, ch.WeightAfter)
+			}
+		}
+	}
+	if !found {
+		t.Error("planted 8x change not detected at alpha 0.01")
+	}
+	// The vast majority of unchanged edges must not trigger.
+	if len(changes) > 8 {
+		t.Errorf("%d edges flagged at alpha 0.01; expected few beyond the planted one", len(changes))
+	}
+}
+
+func TestChangesNullHasFewFalsePositives(t *testing.T) {
+	g0, g1 := yearPair(t, false)
+	changes, err := Changes(g0, g1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) > 6 {
+		t.Errorf("null networks: %d significant changes at alpha 0.01 out of 66 edges", len(changes))
+	}
+	all, err := Changes(g0, g1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 66 {
+		t.Errorf("alpha=1 returned %d edges, want all 66", len(all))
+	}
+}
+
+func TestChangesErrors(t *testing.T) {
+	und := graph.NewBuilder(false)
+	und.AddNodes(2)
+	und.MustAddEdge(0, 1, 1)
+	dir := graph.NewBuilder(true)
+	dir.AddNodes(2)
+	dir.MustAddEdge(0, 1, 1)
+	if _, err := Changes(und.Build(), dir.Build(), 1); err == nil {
+		t.Error("directedness mismatch accepted")
+	}
+	small := graph.NewBuilder(false)
+	small.AddNodes(2)
+	small.MustAddEdge(0, 1, 1)
+	big := graph.NewBuilder(false)
+	big.AddNodes(5)
+	big.MustAddEdge(3, 4, 1)
+	if _, err := Changes(small.Build(), big.Build(), 1); err == nil {
+		t.Error("node-set mismatch accepted")
+	}
+}

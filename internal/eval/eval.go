@@ -1,0 +1,120 @@
+// Package eval implements the paper's three backbone quality criteria
+// (problem definition, Section III-A) plus the synthetic-recovery
+// measure of Section V-A:
+//
+//   - Coverage: share of originally non-isolated nodes that the backbone
+//     keeps non-isolated (Topology, Fig 7).
+//   - Quality: R² of an OLS prediction restricted to backbone edges,
+//     relative to the R² on all edges (Table II).
+//   - Stability: Spearman correlation of edge weights across consecutive
+//     observations, over backbone edges (Fig 8).
+//   - Recovery: Jaccard similarity between the backbone edge set and the
+//     true planted edge set (Fig 4).
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Coverage returns |non-isolated nodes in backbone| / |non-isolated
+// nodes in original|. A perfect backbone keeps every node reachable.
+func Coverage(original, backbone *graph.Graph) float64 {
+	denom := original.NumConnected()
+	if denom == 0 {
+		return math.NaN()
+	}
+	return float64(backbone.NumConnected()) / float64(denom)
+}
+
+// Jaccard returns |A ∩ B| / |A ∪ B| between two edge-key sets.
+func Jaccard(a, b map[graph.EdgeKey]bool) float64 {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return math.NaN()
+	}
+	return float64(inter) / float64(union)
+}
+
+// Recovery returns the Jaccard similarity between a backbone's edge set
+// and the ground-truth edge set — the paper's Fig-4 quality target.
+func Recovery(backbone *graph.Graph, truth map[graph.EdgeKey]bool) float64 {
+	return Jaccard(backbone.EdgeSet(), truth)
+}
+
+// Stability computes the Spearman rank correlation between the weights
+// of the backbone's edges at time t and the same pairs' weights at time
+// t+1 (absent pairs count as weight zero), following Section V-F: the
+// correlation is calculated "using only the edges present in the
+// backbones".
+func Stability(backbone *graph.Graph, next *graph.Graph) float64 {
+	wNext := next.WeightMap()
+	var cur, nxt []float64
+	for _, e := range backbone.Edges() {
+		cur = append(cur, e.Weight)
+		nxt = append(nxt, wNext[backbone.Key(e)])
+	}
+	return stats.Spearman(cur, nxt)
+}
+
+// QualityResult reports the Table-II quality experiment for one method
+// on one network.
+type QualityResult struct {
+	// R2Full is the OLS fit on every edge of the original network.
+	R2Full float64
+	// R2Backbone is the fit restricted to backbone edges.
+	R2Backbone float64
+	// Quality is their ratio: > 1 means the backbone helps prediction.
+	Quality float64
+	// EdgesFull and EdgesBackbone are the observation counts.
+	EdgesFull, EdgesBackbone int
+}
+
+// Designer supplies OLS designs for edge sets; *world.Predictors
+// satisfies it for the country networks.
+type Designer interface {
+	Design(dataset string, edges []graph.Edge) (y []float64, xs [][]float64, err error)
+}
+
+// Quality runs the paper's Quality criterion: fit the same OLS model on
+// the full edge set and on the backbone's edge set, and return the R²
+// ratio.
+func Quality(d Designer, dataset string, full, backbone *graph.Graph) (*QualityResult, error) {
+	yF, xF, err := d.Design(dataset, full.Edges())
+	if err != nil {
+		return nil, fmt.Errorf("eval: full design: %w", err)
+	}
+	fitF, err := stats.OLS(yF, xF...)
+	if err != nil {
+		return nil, fmt.Errorf("eval: full fit: %w", err)
+	}
+	yB, xB, err := d.Design(dataset, backbone.Edges())
+	if err != nil {
+		return nil, fmt.Errorf("eval: backbone design: %w", err)
+	}
+	fitB, err := stats.OLS(yB, xB...)
+	if err != nil {
+		return nil, fmt.Errorf("eval: backbone fit: %w", err)
+	}
+	res := &QualityResult{
+		R2Full:        fitF.R2,
+		R2Backbone:    fitB.R2,
+		EdgesFull:     full.NumEdges(),
+		EdgesBackbone: backbone.NumEdges(),
+	}
+	if fitF.R2 > 0 {
+		res.Quality = fitB.R2 / fitF.R2
+	} else {
+		res.Quality = math.NaN()
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func chain(n int, weights ...float64) *graph.Graph {
+	b := graph.NewBuilder(false)
+	b.AddNodes(n)
+	for i, w := range weights {
+		b.MustAddEdge(i, i+1, w)
+	}
+	return b.Build()
+}
+
+func TestCoverage(t *testing.T) {
+	orig := chain(4, 1, 2, 3) // all 4 nodes connected
+	bb := orig.FilterEdges(func(_ int, e graph.Edge) bool { return e.Weight >= 2 })
+	// Edges (1,2),(2,3) survive: node 0 isolated -> coverage 3/4.
+	if got := Coverage(orig, bb); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Coverage = %v, want 0.75", got)
+	}
+	if got := Coverage(orig, orig); got != 1 {
+		t.Errorf("self coverage = %v", got)
+	}
+	empty := graph.NewBuilder(false).Build()
+	if !math.IsNaN(Coverage(empty, empty)) {
+		t.Error("coverage of empty graph should be NaN")
+	}
+}
+
+func TestJaccardAndRecovery(t *testing.T) {
+	a := map[graph.EdgeKey]bool{{U: 0, V: 1}: true, {U: 1, V: 2}: true}
+	b := map[graph.EdgeKey]bool{{U: 1, V: 2}: true, {U: 2, V: 3}: true}
+	if got := Jaccard(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v", got)
+	}
+	if !math.IsNaN(Jaccard(nil, nil)) {
+		t.Error("empty Jaccard should be NaN")
+	}
+	g := chain(3, 1, 1)
+	truth := g.EdgeSet()
+	if got := Recovery(g, truth); got != 1 {
+		t.Errorf("Recovery = %v", got)
+	}
+}
+
+func TestStabilityPerfectAndPerturbed(t *testing.T) {
+	t0 := chain(5, 4, 3, 2, 1)
+	// Identical next year: stability 1.
+	if got := Stability(t0, t0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Stability identical = %v", got)
+	}
+	// Reversed ranks next year: stability -1.
+	t1 := chain(5, 1, 2, 3, 4)
+	if got := Stability(t0, t1); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Stability reversed = %v", got)
+	}
+	// Missing edges in t1 count as zero weight.
+	t2 := chain(5, 8)
+	got := Stability(t0, t2)
+	if math.IsNaN(got) {
+		t.Error("missing edges should not produce NaN")
+	}
+}
+
+type mockDesigner struct{}
+
+// Design predicts y = log(w+1) from a noisy copy of itself; "good"
+// edges (weight >= 10) follow the model exactly, others are noise.
+func (mockDesigner) Design(_ string, edges []graph.Edge) ([]float64, [][]float64, error) {
+	y := make([]float64, len(edges))
+	x := make([]float64, len(edges))
+	for i, e := range edges {
+		y[i] = math.Log1p(e.Weight)
+		if e.Weight >= 10 {
+			x[i] = y[i] // perfectly predictable
+		} else {
+			x[i] = float64(i%7) * 0.13 // junk
+		}
+	}
+	return y, [][]float64{x}, nil
+}
+
+func TestQualityRatio(t *testing.T) {
+	// Full graph: half predictable, half junk. Backbone keeps the
+	// predictable half -> quality ratio above 1.
+	b := graph.NewBuilder(false)
+	b.AddNodes(40)
+	for i := 0; i < 39; i++ {
+		w := 1.0 + float64(i%5)
+		if i%2 == 0 {
+			w = 10 + float64(i)
+		}
+		b.MustAddEdge(i, i+1, w)
+	}
+	full := b.Build()
+	bb := full.FilterEdges(func(_ int, e graph.Edge) bool { return e.Weight >= 10 })
+	res, err := Quality(mockDesigner{}, "test", full, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality <= 1 {
+		t.Errorf("Quality = %v, want > 1 (backbone should help)", res.Quality)
+	}
+	if res.R2Backbone < 0.99 {
+		t.Errorf("backbone R² = %v, want ~1", res.R2Backbone)
+	}
+	if res.EdgesBackbone >= res.EdgesFull {
+		t.Error("edge counts inconsistent")
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/filter"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// pluginNC is the ablated Noise-Corrected scorer: identical to core.NC
+// except that P_ij is estimated by the degenerate plug-in frequency
+// N_ij/N.. instead of the Beta-Binomial posterior mean. It isolates the
+// contribution of the paper's Bayesian step.
+type pluginNC struct{}
+
+func (pluginNC) Name() string { return "nc-plugin" }
+
+func (p pluginNC) Scores(g *graph.Graph) (*filter.Scores, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("exp: empty graph")
+	}
+	m := g.NumEdges()
+	out := &filter.Scores{G: g, Score: make([]float64, m), Method: p.Name()}
+	n := g.TotalWeight()
+	for id, e := range g.Edges() {
+		ni := g.OutStrength(int(e.Src))
+		nj := g.InStrength(int(e.Dst))
+		kappa := n / (ni * nj)
+		score := (kappa*e.Weight - 1) / (kappa*e.Weight + 1)
+		post := e.Weight / n
+		varNij := n * post * (1 - post)
+		dKappa := 1/(ni*nj) - n*(ni+nj)/((ni*nj)*(ni*nj))
+		denom := kappa*e.Weight + 1
+		deriv := 2 * (kappa + e.Weight*dKappa) / (denom * denom)
+		variance := varNij * deriv * deriv
+		if sd := math.Sqrt(variance); sd > 0 {
+			out.Score[id] = score / sd
+		} else if score > 0 {
+			out.Score[id] = math.Inf(1)
+		} else {
+			out.Score[id] = math.Inf(-1)
+		}
+	}
+	return out, nil
+}
+
+// AblationResult compares NC variants on the Fig-4 recovery task.
+type AblationResult struct {
+	Etas []float64
+	// Recovery[variant][etaIdx], variants: "nc", "nc-plugin", "nc-binomial".
+	Recovery map[string][]float64
+}
+
+// Ablation reruns the synthetic-recovery experiment with the full NC
+// model, the plug-in variance ablation, and the footnote-2 binomial
+// p-value variant.
+func Ablation(cfg Fig4Config) (*AblationResult, error) {
+	variants := []filter.Scorer{core.New(), pluginNC{}, core.NewBinomial()}
+	res := &AblationResult{Etas: cfg.Etas, Recovery: map[string][]float64{}}
+	for _, v := range variants {
+		res.Recovery[v.Name()] = make([]float64, len(cfg.Etas))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for ei, eta := range cfg.Etas {
+		acc := map[string][]float64{}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			base := gen.BarabasiAlbert(rng, cfg.Nodes, cfg.MeanDegree/2)
+			nn := gen.AddNoise(rng, base, eta)
+			for _, v := range variants {
+				s, err := v.Scores(nn.Noisy)
+				if err != nil {
+					return nil, err
+				}
+				bb := s.TopK(nn.NumTrue)
+				acc[v.Name()] = append(acc[v.Name()], eval.Recovery(bb, nn.TrueEdges))
+			}
+		}
+		for name, vals := range acc {
+			res.Recovery[name][ei] = stats.Mean(vals)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the ablation grid.
+func (r *AblationResult) Table() *Table {
+	t := &Table{
+		Title:  "Ablation — NC design choices on the Fig-4 recovery task",
+		Header: []string{"eta", "nc (full)", "nc-plugin (no Bayes)", "nc-binomial (footnote 2)"},
+	}
+	for ei, eta := range r.Etas {
+		t.AddRow(f3(eta),
+			f3(r.Recovery["nc"][ei]),
+			f3(r.Recovery["nc-plugin"][ei]),
+			f3(r.Recovery["nc-binomial"][ei]))
+	}
+	t.Notes = append(t.Notes,
+		"nc-plugin drops the Beta-Binomial posterior (P̂ = N_ij/N..), the paper's key fix for sparse data;",
+		"nc-binomial replaces the delta-method score with a direct binomial tail test")
+	return t
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/backbone"
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/occupations"
+	"repro/internal/stats"
+)
+
+// CaseStudyResult reports the Section-VI skill-relatedness case study,
+// comparing NC and DF backbones of the occupation co-occurrence network.
+type CaseStudyResult struct {
+	Occupations int
+	EdgesFull   int
+	// Per backbone: edge count, nodes retained, codelength without/with
+	// Infomap communities, modularity of the 2-digit classes, NMI of
+	// Infomap communities vs the 2-digit classes.
+	NC, DF CaseStudySide
+	// FlowCorrFull/DF/NC are the flow-prediction correlations of the
+	// model F_ij = b1 C_ij + b2 S_i. + b3 S_.j on all pairs and on the
+	// pairs each backbone keeps (paper: 0.390 / 0.431 / 0.454).
+	FlowCorrFull, FlowCorrDF, FlowCorrNC float64
+}
+
+// CaseStudySide holds the metrics of one method's backbone.
+type CaseStudySide struct {
+	Edges, NodesRetained                int
+	CodelengthFlat, CodelengthCommunity float64
+	CodelengthGainPct                   float64
+	ModularityClasses                   float64
+	NMICommunitiesVsClasses             float64
+}
+
+// CaseStudy runs the full Section-VI pipeline on a synthetic occupation
+// world: extract NC and DF backbones of roughly equal size from the
+// skill co-occurrence network, compare their topology, community
+// structure and usefulness for predicting labor flows.
+func CaseStudy(cfg occupations.Config) (*CaseStudyResult, error) {
+	d := occupations.Generate(cfg)
+	g := d.CoOccurrence
+
+	nc := core.New()
+	df := backbone.NewDisparity()
+	sNC, err := nc.Scores(g)
+	if err != nil {
+		return nil, err
+	}
+	sDF, err := df.Scores(g)
+	if err != nil {
+		return nil, err
+	}
+	// "The two networks have roughly the same number of connections":
+	// take the NC backbone at delta = 2.32 and cut DF to the same size.
+	bbNC := sNC.Threshold(2.32)
+	k := bbNC.NumEdges()
+	if k < g.NumNodes() {
+		k = g.NumNodes() * 2
+		bbNC = sNC.TopK(k)
+	}
+	bbDF := sDF.TopK(k)
+
+	res := &CaseStudyResult{
+		Occupations: d.NumOccupations(),
+		EdgesFull:   g.NumEdges(),
+	}
+	res.NC, err = sideMetrics(bbNC, d, 101)
+	if err != nil {
+		return nil, err
+	}
+	res.DF, err = sideMetrics(bbDF, d, 202)
+	if err != nil {
+		return nil, err
+	}
+
+	res.FlowCorrFull = flowCorr(d, d.AllPairs())
+	res.FlowCorrNC = flowCorr(d, occupations.PairsFromBackbone(bbNC))
+	res.FlowCorrDF = flowCorr(d, occupations.PairsFromBackbone(bbDF))
+	return res, nil
+}
+
+func sideMetrics(bb *graph.Graph, d *occupations.Data, seed int64) (CaseStudySide, error) {
+	var s CaseStudySide
+	s.Edges = bb.NumEdges()
+	s.NodesRetained = bb.NumConnected()
+	one := make([]int, bb.NumNodes())
+	s.CodelengthFlat = community.CodeLength(bb, one)
+	part := community.Infomap(bb, rand.New(rand.NewSource(seed)))
+	s.CodelengthCommunity = community.CodeLength(bb, part)
+	if s.CodelengthFlat > 0 {
+		s.CodelengthGainPct = 100 * (s.CodelengthFlat - s.CodelengthCommunity) / s.CodelengthFlat
+	}
+	s.ModularityClasses = community.Modularity(bb, d.Minor)
+	s.NMICommunitiesVsClasses = community.NMI(part, d.Minor)
+	return s, nil
+}
+
+// flowCorr fits the case study's linear flow model on the given pairs
+// and returns the prediction correlation sqrt(R²).
+func flowCorr(d *occupations.Data, pairs [][2]int) float64 {
+	if len(pairs) < 8 {
+		return math.NaN()
+	}
+	y, xs := d.FlowDesign(pairs)
+	res, err := stats.OLS(y, xs...)
+	if err != nil {
+		return math.NaN()
+	}
+	return math.Sqrt(math.Max(0, res.R2))
+}
+
+// Table renders the case-study comparison next to the paper's values.
+func (r *CaseStudyResult) Table() *Table {
+	t := &Table{
+		Title:  "Case study (Section VI) — NC vs DF on the occupation skill network",
+		Header: []string{"metric", "NC", "DF", "paper NC", "paper DF"},
+	}
+	t.AddRow("edges in backbone", strconv.Itoa(r.NC.Edges), strconv.Itoa(r.DF.Edges), "~equal", "~equal")
+	t.AddRow("nodes retained", strconv.Itoa(r.NC.NodesRetained), strconv.Itoa(r.DF.NodesRetained), "all", "~50 dropped")
+	t.AddRow("codelength flat (bits)", f3(r.NC.CodelengthFlat), f3(r.DF.CodelengthFlat), "7.97", "7.69")
+	t.AddRow("codelength with communities", f3(r.NC.CodelengthCommunity), f3(r.DF.CodelengthCommunity), "6.78", "6.98")
+	t.AddRow("codelength gain %", f3(r.NC.CodelengthGainPct), f3(r.DF.CodelengthGainPct), "15.0", "9.3")
+	t.AddRow("modularity of 2-digit classes", f3(r.NC.ModularityClasses), f3(r.DF.ModularityClasses), "0.192", "0.115")
+	t.AddRow("NMI communities vs classes", f3(r.NC.NMICommunitiesVsClasses), f3(r.DF.NMICommunitiesVsClasses), "0.423", "0.401")
+	t.AddRow("flow corr (all pairs)", f3(r.FlowCorrFull), f3(r.FlowCorrFull), "0.390", "0.390")
+	t.AddRow("flow corr (backbone pairs)", f3(r.FlowCorrNC), f3(r.FlowCorrDF), "0.454", "0.431")
+	t.Notes = append(t.Notes,
+		"paper shape: NC retains more nodes, compresses better under Infomap,",
+		"aligns better with the expert classification, and predicts flows best")
+	return t
+}

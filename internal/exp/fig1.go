@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Fig1Result reports the motivating demonstration of Figure 1: a dense
+// noisy network whose planted communities only become recoverable after
+// backboning.
+type Fig1Result struct {
+	Nodes, EdgesFull, EdgesBackbone int
+	// CommunitiesFull and CommunitiesBackbone count the modules found by
+	// community discovery before and after backboning.
+	CommunitiesFull, CommunitiesBackbone int
+	// NMIFull and NMIBackbone compare discovered communities with the
+	// planted ground truth.
+	NMIFull, NMIBackbone float64
+}
+
+// Fig1 plants k communities, floods the graph with noise edges until
+// nearly every pair is connected (the paper's 151-node network has
+// "virtually every possible connection expressed"), and compares
+// community recovery on the hairball versus on its NC backbone.
+func Fig1(seed int64, n, k int) (*Fig1Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base, truth := gen.PlantedPartition(rng, n, k, 0.3, 0.02)
+	noisy := gen.AddNoise(rng, base, 0.9)
+	g := noisy.Noisy
+
+	full := community.Louvain(g, rand.New(rand.NewSource(seed+1)))
+	bb, err := core.New().Backbone(g, 2.32)
+	if err != nil {
+		return nil, err
+	}
+	found := community.Louvain(bb, rand.New(rand.NewSource(seed+2)))
+
+	return &Fig1Result{
+		Nodes:               n,
+		EdgesFull:           g.NumEdges(),
+		EdgesBackbone:       bb.NumEdges(),
+		CommunitiesFull:     countLabels(full),
+		CommunitiesBackbone: countLabels(found),
+		NMIFull:             community.NMI(full, truth),
+		NMIBackbone:         community.NMI(found, truth),
+	}, nil
+}
+
+func countLabels(part []int) int {
+	seen := map[int]bool{}
+	for _, c := range part {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// Table renders the before/after comparison.
+func (r *Fig1Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 1 — Community recovery on a noisy hairball, before vs after NC backboning",
+		Header: []string{"", "full network", "NC backbone"},
+	}
+	t.AddRow("edges", strconv.Itoa(r.EdgesFull), strconv.Itoa(r.EdgesBackbone))
+	t.AddRow("communities found", strconv.Itoa(r.CommunitiesFull), strconv.Itoa(r.CommunitiesBackbone))
+	t.AddRow("NMI vs planted truth", f3(r.NMIFull), f3(r.NMIBackbone))
+	t.Notes = append(t.Notes,
+		"paper: on the raw hairball, community discovery lumps all nodes together;",
+		"the backbone makes the ground-truth classes recoverable")
+	return t
+}

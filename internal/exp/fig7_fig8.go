@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+// SweepShares is the backbone-size grid of the paper's sweep figures.
+var SweepShares = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}
+
+// SweepResult holds one metric per (network, method, share).
+type SweepResult struct {
+	Title    string
+	Metric   string
+	Networks []string
+	Methods  []Method
+	Shares   []float64
+	// Values[network][methodShort][shareIdx]; NaN for infeasible points.
+	// Fixed-size methods fill only index 0 (their single operating point).
+	Values map[string]map[string][]float64
+	// FixedShare[network][methodShort] is the actual edge share of
+	// parameter-free backbones (MST, DS).
+	FixedShare map[string]map[string]float64
+}
+
+func newSweepResult(title, metric string) *SweepResult {
+	return &SweepResult{
+		Title:      title,
+		Metric:     metric,
+		Methods:    Methods(),
+		Shares:     SweepShares,
+		Values:     map[string]map[string][]float64{},
+		FixedShare: map[string]map[string]float64{},
+	}
+}
+
+func (r *SweepResult) initNetwork(name string) {
+	r.Networks = append(r.Networks, name)
+	r.Values[name] = map[string][]float64{}
+	r.FixedShare[name] = map[string]float64{}
+	for _, m := range r.Methods {
+		vals := make([]float64, len(r.Shares))
+		for i := range vals {
+			vals[i] = math.NaN()
+		}
+		r.Values[name][m.Short] = vals
+	}
+}
+
+// Fig7 measures Coverage — the share of originally non-isolated nodes
+// the backbone keeps non-isolated — as a function of the share of edges
+// kept, per method and network (Section V-D).
+func Fig7(c *Country) (*SweepResult, error) {
+	res := newSweepResult("Figure 7 — Coverage per backbone for varying threshold values", "coverage")
+	for _, ds := range c.Datasets {
+		res.initNetwork(ds.Name)
+		full := ds.Latest()
+		for _, m := range res.Methods {
+			for si, share := range res.Shares {
+				if m.FixedSize && si > 0 {
+					break
+				}
+				bb, err := BackboneWithShare(m, full, share)
+				if err != nil {
+					break // infeasible (DS n/a): leave NaN
+				}
+				if m.FixedSize {
+					res.FixedShare[ds.Name][m.Short] = float64(bb.NumEdges()) / float64(full.NumEdges())
+				}
+				res.Values[ds.Name][m.Short][si] = eval.Coverage(full, bb)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig8 measures Stability — the Spearman correlation between backbone
+// edge weights at t and the same pairs' weights at t+1, averaged over
+// consecutive year pairs — as a function of the share of edges kept
+// (Section V-F).
+func Fig8(c *Country) (*SweepResult, error) {
+	res := newSweepResult("Figure 8 — Stability per backbone for varying threshold values", "stability")
+	for _, ds := range c.Datasets {
+		res.initNetwork(ds.Name)
+		for _, m := range res.Methods {
+			for si, share := range res.Shares {
+				if m.FixedSize && si > 0 {
+					break
+				}
+				var stab []float64
+				infeasible := false
+				for yi := 0; yi+1 < len(ds.Years); yi++ {
+					g0, g1 := ds.Years[yi], ds.Years[yi+1]
+					bb, err := BackboneWithShare(m, g0, share)
+					if err != nil {
+						infeasible = true
+						break
+					}
+					if m.FixedSize && yi == 0 {
+						res.FixedShare[ds.Name][m.Short] = float64(bb.NumEdges()) / float64(g0.NumEdges())
+					}
+					var cur, nxt []float64
+					for _, e := range bb.Edges() {
+						cur = append(cur, e.Weight)
+						nxt = append(nxt, weightIn(g1, bb, e))
+					}
+					if s := stats.Spearman(cur, nxt); s == s {
+						stab = append(stab, s)
+					}
+				}
+				if infeasible {
+					break
+				}
+				if len(stab) > 0 {
+					res.Values[ds.Name][m.Short][si] = stats.Mean(stab)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders a sweep grid: one block of rows per network.
+func (r *SweepResult) Table() *Table {
+	t := &Table{Title: r.Title, Header: []string{"Network", "share"}}
+	for _, m := range r.Methods {
+		t.Header = append(t.Header, m.Short)
+	}
+	for _, net := range r.Networks {
+		for si, share := range r.Shares {
+			row := []string{net, f3(share)}
+			for _, m := range r.Methods {
+				if m.FixedSize && si > 0 {
+					row = append(row, "")
+					continue
+				}
+				row = append(row, f3(r.Values[net][m.Short][si]))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"mst/ds are parameter-free: reported once, at their own backbone size (n/a where infeasible)")
+	return t
+}

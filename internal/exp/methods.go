@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/backbone"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/graph"
+)
+
+// Method bundles a backboning algorithm with the capabilities the
+// experiments need: ranked scoring (for fixed-size comparisons) and/or
+// parameter-free extraction.
+type Method struct {
+	// Name is the display name used in the paper's tables.
+	Name string
+	// Short is the identifier used on the command line ("nc", "df", ...).
+	Short string
+	// Scorer is nil for purely parameter-free methods (MST).
+	Scorer filter.Scorer
+	// Extractor is nil for threshold-only methods.
+	Extractor filter.Extractor
+	// FixedSize marks methods whose backbone size cannot be tuned
+	// (MST and the connectivity-stopping DS), which appear as single
+	// points in the paper's sweep figures.
+	FixedSize bool
+}
+
+// Methods returns the six algorithms in the paper's comparison, in its
+// presentation order: NC, DF, HSS, DS, MST, NT.
+func Methods() []Method {
+	ds := backbone.NewDoublyStochastic()
+	return []Method{
+		{Name: "Noise-Corrected", Short: "nc", Scorer: core.New()},
+		{Name: "Disparity Filter", Short: "df", Scorer: backbone.NewDisparity()},
+		{Name: "High Salience Skeleton", Short: "hss", Scorer: backbone.NewHSS()},
+		{Name: "Doubly Stochastic", Short: "ds", Scorer: ds, Extractor: ds, FixedSize: true},
+		{Name: "Maximum Spanning Tree", Short: "mst", Extractor: backbone.NewMST(), FixedSize: true},
+		{Name: "Naive Threshold", Short: "nt", Scorer: backbone.NewNaive()},
+	}
+}
+
+// MethodByShort returns the method with the given short name.
+func MethodByShort(short string) (Method, error) {
+	for _, m := range Methods() {
+		if m.Short == short {
+			return m, nil
+		}
+	}
+	return Method{}, fmt.Errorf("exp: unknown method %q (want nc, df, hss, ds, mst or nt)", short)
+}
+
+// BackboneWithK extracts a backbone of (approximately) k edges. Ranked
+// methods take their top-k edges; fixed-size methods return their
+// canonical output regardless of k, as the paper does when it compares
+// methods "for a given number of edges" (MST and DS cannot be tuned).
+func BackboneWithK(m Method, g *graph.Graph, k int) (*graph.Graph, error) {
+	if m.FixedSize || m.Scorer == nil {
+		return m.Extractor.Extract(g)
+	}
+	s, err := m.Scorer.Scores(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopK(k), nil
+}
+
+// BackboneWithShare extracts a backbone keeping the given share of the
+// graph's edges (see BackboneWithK for fixed-size methods).
+func BackboneWithShare(m Method, g *graph.Graph, share float64) (*graph.Graph, error) {
+	k := int(share*float64(g.NumEdges()) + 0.5)
+	return BackboneWithK(m, g, k)
+}

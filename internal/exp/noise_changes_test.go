@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNoiseRetention(t *testing.T) {
+	c := testCountry(t)
+	res, err := Noise(c, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Networks) != 6 {
+		t.Fatalf("networks = %d", len(res.Networks))
+	}
+	for _, net := range res.Networks {
+		for _, m := range []string{"nc", "df", "nt"} {
+			a := res.ArtifactShareKept[m][net]
+			rc := res.RealRecall[m][net]
+			if !math.IsNaN(a) && (a < 0 || a > 1) {
+				t.Errorf("%s/%s artifact share out of range: %v", net, m, a)
+			}
+			if !math.IsNaN(rc) && (rc < 0 || rc > 1) {
+				t.Errorf("%s/%s recall out of range: %v", net, m, rc)
+			}
+		}
+		// Weight thresholds avoid low-weight artifacts almost perfectly…
+		if nt := res.ArtifactShareKept["nt"][net]; !math.IsNaN(nt) && nt > res.ArtifactShareFull[net] {
+			t.Errorf("%s: NT kept more artifacts (%v) than the full baseline (%v)",
+				net, nt, res.ArtifactShareFull[net])
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "Noise retention") {
+		t.Error("render broken")
+	}
+}
+
+func TestChangesDriver(t *testing.T) {
+	c := testCountry(t)
+	ds := c.Datasets[0] // Business
+	res, err := Changes(ds, 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgesCompared == 0 {
+		t.Fatal("no edges compared")
+	}
+	if res.Significant < 0 || res.Significant > res.EdgesCompared {
+		t.Errorf("significant = %d of %d", res.Significant, res.EdgesCompared)
+	}
+	if len(res.Top) != 10 {
+		t.Errorf("top = %d, want 10", len(res.Top))
+	}
+	// Top changes are sorted by ascending p-value.
+	for i := 1; i < len(res.Top); i++ {
+		if res.Top[i].PValue < res.Top[i-1].PValue {
+			t.Error("top changes not sorted by p-value")
+			break
+		}
+	}
+	out := res.Table().Render()
+	if !strings.Contains(out, "Business") {
+		t.Error("render missing network name")
+	}
+}

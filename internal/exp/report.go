@@ -1,0 +1,89 @@
+// Package exp implements one driver per table and figure of the paper's
+// evaluation (Section V and the Section VI case study). Each driver
+// returns structured results plus a rendered text table, so the same
+// code backs the cmd/experiments binary, the root benchmark suite, and
+// the integration tests.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table (substitutions, parameters).
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("=", len(t.Title)))
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// f3 formats a float with three decimals; NaN renders as "n/a".
+func f3(v float64) string {
+	if v != v {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// f4 formats a float with four decimals; NaN renders as "n/a".
+func f4(v float64) string {
+	if v != v {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", v)
+}

@@ -1,0 +1,144 @@
+// Package filter defines the common scoring-and-pruning framework shared
+// by every backboning method in this repository.
+//
+// Backboning is a two-phase operation, mirroring the design of the
+// paper's released Python module: a Scorer computes a per-edge
+// significance table (Scores) from a weighted graph, and the table is
+// then pruned — by significance threshold, by top-K, or by top share of
+// edges. Separating the phases lets the experiments compare methods at
+// exactly equal backbone sizes, as the paper does ("we fix the number of
+// edges we include in the backbone", Section V-E).
+package filter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Scores is a per-edge significance table over a graph's canonical edges.
+type Scores struct {
+	// G is the graph the scores refer to; Score[i] belongs to G.Edges()[i].
+	G *graph.Graph
+	// Score is the canonical significance of each edge: higher means more
+	// salient, and Threshold(t) keeps edges with Score > t. Methods map
+	// their native statistic so that their natural pruning rule becomes a
+	// plain threshold (NC: score/σ vs δ; DF: 1−α vs 1−α_crit; ...).
+	Score []float64
+	// Aux holds optional method-specific columns aligned with Score
+	// (e.g. the NC backbone exposes "nc_score" and "sdev" so callers can
+	// reproduce the paper's Figure 2 or compare two edges statistically).
+	Aux map[string][]float64
+	// Method names the producing algorithm.
+	Method string
+}
+
+// Scorer computes an edge significance table for a graph.
+type Scorer interface {
+	// Name returns a short identifier such as "nc" or "df".
+	Name() string
+	// Scores computes the per-edge significance table.
+	Scores(g *graph.Graph) (*Scores, error)
+}
+
+// Extractor directly produces a backbone subgraph. Parameter-free
+// methods whose output is a fixed edge set (Maximum Spanning Tree,
+// the connectivity-stopping Doubly Stochastic variant) implement this
+// instead of, or in addition to, Scorer.
+type Extractor interface {
+	Name() string
+	Extract(g *graph.Graph) (*graph.Graph, error)
+}
+
+// Validate checks internal consistency; all constructors in this module
+// produce valid tables, so failures indicate programmer error.
+func (s *Scores) Validate() error {
+	if s.G == nil {
+		return fmt.Errorf("filter: nil graph")
+	}
+	if len(s.Score) != s.G.NumEdges() {
+		return fmt.Errorf("filter: %d scores for %d edges", len(s.Score), s.G.NumEdges())
+	}
+	for name, col := range s.Aux {
+		if len(col) != len(s.Score) {
+			return fmt.Errorf("filter: aux column %q has %d rows, want %d", name, len(col), len(s.Score))
+		}
+	}
+	return nil
+}
+
+// Threshold returns the backbone keeping edges with Score > t.
+// The full node set is preserved so coverage can be measured.
+func (s *Scores) Threshold(t float64) *graph.Graph {
+	return s.G.FilterEdges(func(id int, _ graph.Edge) bool {
+		return s.Score[id] > t
+	})
+}
+
+// CountAbove returns how many edges have Score > t.
+func (s *Scores) CountAbove(t float64) int {
+	n := 0
+	for _, v := range s.Score {
+		if v > t {
+			n++
+		}
+	}
+	return n
+}
+
+// ranking returns edge IDs sorted by descending significance with
+// deterministic tie-breaking (higher weight first, then lower edge ID).
+func (s *Scores) ranking() []int {
+	ids := make([]int, len(s.Score))
+	for i := range ids {
+		ids[i] = i
+	}
+	edges := s.G.Edges()
+	sort.SliceStable(ids, func(a, b int) bool {
+		ia, ib := ids[a], ids[b]
+		if s.Score[ia] != s.Score[ib] {
+			return s.Score[ia] > s.Score[ib]
+		}
+		if edges[ia].Weight != edges[ib].Weight {
+			return edges[ia].Weight > edges[ib].Weight
+		}
+		return ia < ib
+	})
+	return ids
+}
+
+// TopK returns the backbone with the k most significant edges
+// (all edges if k exceeds the edge count).
+func (s *Scores) TopK(k int) *graph.Graph {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(s.Score) {
+		k = len(s.Score)
+	}
+	keep := make(map[int32]bool, k)
+	for _, id := range s.ranking()[:k] {
+		keep[int32(id)] = true
+	}
+	return s.G.KeepEdges(keep)
+}
+
+// TopFraction returns the backbone keeping the given share (0..1] of
+// edges, rounding to the nearest whole edge.
+func (s *Scores) TopFraction(f float64) *graph.Graph {
+	k := int(f*float64(len(s.Score)) + 0.5)
+	return s.TopK(k)
+}
+
+// ThresholdForK returns the significance value of the k-th ranked edge,
+// i.e. the cut that TopK(k) implies. NaN-free inputs assumed.
+func (s *Scores) ThresholdForK(k int) float64 {
+	if k <= 0 || len(s.Score) == 0 {
+		return 0
+	}
+	if k > len(s.Score) {
+		k = len(s.Score)
+	}
+	return s.Score[s.ranking()[k-1]]
+}

@@ -1,0 +1,110 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func scoredLine(weights []float64, scores []float64) *Scores {
+	b := graph.NewBuilder(false)
+	b.AddNodes(len(weights) + 1)
+	for i, w := range weights {
+		b.MustAddEdge(i, i+1, w)
+	}
+	return &Scores{G: b.Build(), Score: scores, Method: "test"}
+}
+
+func TestValidate(t *testing.T) {
+	s := scoredLine([]float64{1, 2}, []float64{0.5, 0.7})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := scoredLine([]float64{1, 2}, []float64{0.5})
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched score length accepted")
+	}
+	s.Aux = map[string][]float64{"x": {1}}
+	if err := s.Validate(); err == nil {
+		t.Error("ragged aux column accepted")
+	}
+	nilg := &Scores{}
+	if err := nilg.Validate(); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestThresholdStrict(t *testing.T) {
+	s := scoredLine([]float64{1, 2, 3}, []float64{0.1, 0.5, 0.9})
+	bb := s.Threshold(0.5)
+	if bb.NumEdges() != 1 {
+		t.Fatalf("strict threshold kept %d, want 1", bb.NumEdges())
+	}
+	if bb.Edges()[0].Weight != 3 {
+		t.Errorf("wrong edge survived: %v", bb.Edges()[0])
+	}
+}
+
+func TestTopKTieBreaking(t *testing.T) {
+	// Equal scores: heavier edge wins; equal weight: lower ID wins.
+	s := scoredLine([]float64{5, 9, 9}, []float64{1, 1, 1})
+	bb := s.TopK(1)
+	if bb.NumEdges() != 1 {
+		t.Fatal("TopK(1) size wrong")
+	}
+	e := bb.Edges()[0]
+	if e.Weight != 9 || e.Src != 1 {
+		t.Errorf("tie-break picked %+v, want edge (1,2) weight 9", e)
+	}
+}
+
+func TestThresholdForK(t *testing.T) {
+	s := scoredLine([]float64{1, 2, 3}, []float64{0.2, 0.8, 0.5})
+	if got := s.ThresholdForK(1); got != 0.8 {
+		t.Errorf("ThresholdForK(1) = %v", got)
+	}
+	if got := s.ThresholdForK(3); got != 0.2 {
+		t.Errorf("ThresholdForK(3) = %v", got)
+	}
+	if got := s.ThresholdForK(99); got != 0.2 {
+		t.Errorf("ThresholdForK(99) = %v", got)
+	}
+	if got := s.ThresholdForK(0); got != 0 {
+		t.Errorf("ThresholdForK(0) = %v", got)
+	}
+}
+
+// Property: TopK sizes are exact, nested, and consistent with ranking.
+func TestQuickTopKNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(30)
+		weights := make([]float64, m)
+		scores := make([]float64, m)
+		for i := range weights {
+			weights[i] = 1 + rng.Float64()*10
+			scores[i] = rng.NormFloat64()
+		}
+		s := scoredLine(weights, scores)
+		prev := map[graph.EdgeKey]bool{}
+		for k := 0; k <= m; k++ {
+			bb := s.TopK(k)
+			if bb.NumEdges() != k {
+				return false
+			}
+			cur := bb.EdgeSet()
+			for key := range prev {
+				if !cur[key] {
+					return false // nesting violated
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

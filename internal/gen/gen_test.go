@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestBarabasiAlbertDegreeAndConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := BarabasiAlbert(rng, 200, 1.5)
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	avgDeg := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if avgDeg < 2.4 || avgDeg > 3.6 {
+		t.Errorf("average degree = %v, want ~3 (paper's synthetic setting)", avgDeg)
+	}
+	if !g.IsWeaklyConnected() {
+		t.Error("BA graph should be connected by construction")
+	}
+	// Preferential attachment: max degree far above the average.
+	maxDeg := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.OutDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 3*avgDeg {
+		t.Errorf("max degree %d; expected a hub well above mean %v", maxDeg, avgDeg)
+	}
+}
+
+func TestBarabasiAlbertSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := BarabasiAlbert(rng, 1, 2)
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("n=1: %v", g)
+	}
+	g = BarabasiAlbert(rng, 2, 3)
+	if g.NumEdges() != 1 {
+		t.Errorf("n=2 should have the seed edge, got %d", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiGNMExactCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ErdosRenyiGNM(rng, 100, 150)
+	if g.NumNodes() != 100 || g.NumEdges() != 150 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.Weight <= 0 || e.Weight >= 1 {
+			t.Errorf("weight %v outside (0,1)", e.Weight)
+		}
+	}
+	// Requesting more edges than possible caps at the complete graph.
+	g = ErdosRenyiGNM(rng, 5, 100)
+	if g.NumEdges() != 10 {
+		t.Errorf("overfull request: %d edges, want 10", g.NumEdges())
+	}
+}
+
+func TestAddNoiseFillsComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := BarabasiAlbert(rng, 50, 1.5)
+	nn := AddNoise(rng, base, 0.2)
+	// Full network: all pairs between non-isolated nodes are present.
+	wantEdges := 50 * 49 / 2
+	if nn.Noisy.NumEdges() != wantEdges {
+		t.Errorf("noisy edges = %d, want %d (complete)", nn.Noisy.NumEdges(), wantEdges)
+	}
+	if nn.NumTrue != base.NumEdges() {
+		t.Errorf("NumTrue = %d, want %d", nn.NumTrue, base.NumEdges())
+	}
+	// True edges must be heavier in expectation: check the floor property
+	// w_true >= (k_i+k_j)*eta > w_noise's own cap comparison per pair.
+	deg := func(u int) float64 { return float64(base.OutDegree(u)) }
+	for _, e := range nn.Noisy.Edges() {
+		k := deg(int(e.Src)) + deg(int(e.Dst))
+		if nn.TrueEdges[nn.Noisy.Key(e)] {
+			if e.Weight < 0.2*k-1e-9 || e.Weight > k {
+				t.Errorf("true edge weight %v outside [%v, %v]", e.Weight, 0.2*k, k)
+			}
+		} else if e.Weight > 0.2*k+1e-9 {
+			t.Errorf("noise edge weight %v above cap %v", e.Weight, 0.2*k)
+		}
+	}
+}
+
+func TestPlantedPartitionStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, truth := PlantedPartition(rng, 120, 4, 0.5, 0.02)
+	if g.NumNodes() != 120 || len(truth) != 120 {
+		t.Fatal("sizes wrong")
+	}
+	sizes := make(map[int]int)
+	for _, c := range truth {
+		sizes[c]++
+	}
+	if len(sizes) != 4 {
+		t.Fatalf("communities = %d, want 4", len(sizes))
+	}
+	for c, s := range sizes {
+		if s != 30 {
+			t.Errorf("community %d size %d, want 30", c, s)
+		}
+	}
+	within, between := 0, 0
+	for _, e := range g.Edges() {
+		if truth[e.Src] == truth[e.Dst] {
+			within++
+		} else {
+			between++
+		}
+	}
+	// Expected: within ~ 4*C(30,2)*0.5 = 870, between ~ 5400*0.02 = 108.
+	if within < between {
+		t.Errorf("within=%d between=%d: planted structure missing", within, between)
+	}
+}
+
+// Property: noise generation is deterministic given the seed.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		g1 := BarabasiAlbert(rand.New(rand.NewSource(seed)), 40, 1.5)
+		g2 := BarabasiAlbert(rand.New(rand.NewSource(seed)), 40, 1.5)
+		if g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		e1, e2 := g1.Edges(), g2.Edges()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BA graphs never contain duplicate edges or self-loops and
+// are always connected.
+func TestQuickBAWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(100)
+		g := BarabasiAlbert(rng, n, 1+rng.Float64()*2)
+		seen := map[graph.EdgeKey]bool{}
+		for _, e := range g.Edges() {
+			if e.Src == e.Dst {
+				return false
+			}
+			k := g.Key(e)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			if e.Weight != 1 {
+				return false
+			}
+		}
+		return g.IsWeaklyConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoiseEtaZeroAndOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := BarabasiAlbert(rng, 30, 1.5)
+	// eta = 0: noise edges all have zero weight, so they vanish.
+	nn := AddNoise(rng, base, 0)
+	if nn.Noisy.NumEdges() != base.NumEdges() {
+		t.Errorf("eta=0: %d edges, want %d (pure signal)", nn.Noisy.NumEdges(), base.NumEdges())
+	}
+	// eta = 1: signal and noise are statistically identical; recovery
+	// is impossible but generation must still work.
+	nn = AddNoise(rng, base, 1)
+	if nn.Noisy.NumEdges() != 30*29/2 {
+		t.Errorf("eta=1: %d edges", nn.Noisy.NumEdges())
+	}
+
+}

@@ -1,0 +1,93 @@
+package graph
+
+import "fmt"
+
+// Bipartite is a two-mode incidence structure (rows × columns) with
+// non-negative weights — e.g. countries × products, or occupations ×
+// skills. The backboning algorithms operate on one-mode projections of
+// such data; the paper notes that the Doubly-Stochastic method cannot
+// handle bipartite inputs at all ("it requires the adjacency matrix to
+// be square"), while the NC null model applies to the projection
+// unchanged.
+type Bipartite struct {
+	rowLabels, colLabels []string
+	weights              map[[2]int32]float64
+}
+
+// NewBipartite returns an empty incidence structure.
+func NewBipartite() *Bipartite {
+	return &Bipartite{weights: make(map[[2]int32]float64)}
+}
+
+// AddRow and AddCol register entities and return their indices.
+func (bp *Bipartite) AddRow(label string) int {
+	bp.rowLabels = append(bp.rowLabels, label)
+	return len(bp.rowLabels) - 1
+}
+
+// AddCol registers a column entity and returns its index.
+func (bp *Bipartite) AddCol(label string) int {
+	bp.colLabels = append(bp.colLabels, label)
+	return len(bp.colLabels) - 1
+}
+
+// NumRows and NumCols return the mode sizes.
+func (bp *Bipartite) NumRows() int { return len(bp.rowLabels) }
+
+// NumCols returns the number of column entities.
+func (bp *Bipartite) NumCols() int { return len(bp.colLabels) }
+
+// Set records the incidence weight between row r and column c.
+func (bp *Bipartite) Set(r, c int, w float64) error {
+	if r < 0 || r >= len(bp.rowLabels) || c < 0 || c >= len(bp.colLabels) {
+		return fmt.Errorf("graph: bipartite entry (%d,%d) out of range (%dx%d)",
+			r, c, len(bp.rowLabels), len(bp.colLabels))
+	}
+	if w < 0 || w != w {
+		return fmt.Errorf("graph: invalid bipartite weight %v", w)
+	}
+	if w == 0 {
+		delete(bp.weights, [2]int32{int32(r), int32(c)})
+		return nil
+	}
+	bp.weights[[2]int32{int32(r), int32(c)}] = w
+	return nil
+}
+
+// ProjectRows builds the one-mode co-occurrence projection over rows:
+// two rows connect with weight equal to the number of columns in which
+// both have positive incidence (the construction of the Country Space
+// and occupation networks). With weighted true, the weight is instead
+// the sum over shared columns of the product of the two incidence
+// weights (the standard weighted projection).
+func (bp *Bipartite) ProjectRows(weighted bool) *Graph {
+	// Column -> rows incident to it.
+	cols := make(map[int32][]int32)
+	for key := range bp.weights {
+		cols[key[1]] = append(cols[key[1]], key[0])
+	}
+	b := NewBuilder(false)
+	for _, l := range bp.rowLabels {
+		b.AddNode(l)
+	}
+	acc := make(map[[2]int32]float64)
+	for c, rows := range cols {
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				u, v := rows[i], rows[j]
+				if u > v {
+					u, v = v, u
+				}
+				if weighted {
+					acc[[2]int32{u, v}] += bp.weights[[2]int32{u, c}] * bp.weights[[2]int32{v, c}]
+				} else {
+					acc[[2]int32{u, v}]++
+				}
+			}
+		}
+	}
+	for key, w := range acc {
+		b.MustAddEdge(int(key[0]), int(key[1]), w)
+	}
+	return b.Build()
+}

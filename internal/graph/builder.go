@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Adding the same (src, dst) pair repeatedly sums the weights, which is
+// the natural semantics for count data. Self-loops are rejected: the
+// backboning null models are defined on interactions between distinct
+// nodes (the paper's case study explicitly keeps same-occupation
+// switchers out of the network, on the matrix diagonal).
+type Builder struct {
+	directed bool
+	labels   []string
+	index    map[string]int32
+	weights  map[[2]int32]float64
+}
+
+// NewBuilder returns a Builder for a directed or undirected graph.
+func NewBuilder(directed bool) *Builder {
+	return &Builder{
+		directed: directed,
+		index:    make(map[string]int32),
+		weights:  make(map[[2]int32]float64),
+	}
+}
+
+// AddNode ensures a node with the given label exists and returns its ID.
+// Labels must be unique; the empty label is allowed but not indexed.
+func (b *Builder) AddNode(label string) int {
+	if label != "" {
+		if id, ok := b.index[label]; ok {
+			return int(id)
+		}
+	}
+	id := int32(len(b.labels))
+	b.labels = append(b.labels, label)
+	if label != "" {
+		b.index[label] = id
+	}
+	return int(id)
+}
+
+// AddNodes ensures at least n anonymous nodes exist (IDs 0..n-1).
+func (b *Builder) AddNodes(n int) {
+	for len(b.labels) < n {
+		b.labels = append(b.labels, "")
+	}
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// AddEdge adds weight w to the edge between nodes u and v (by ID).
+// Nodes must already exist. Negative weights and self-loops are errors;
+// zero weights are ignored (absence of interaction).
+func (b *Builder) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= len(b.labels) || v < 0 || v >= len(b.labels) {
+		return fmt.Errorf("graph: edge (%d,%d) references unknown node (have %d nodes)", u, v, len(b.labels))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d not allowed", u)
+	}
+	if w < 0 || w != w {
+		return fmt.Errorf("graph: invalid weight %v on edge (%d,%d)", w, u, v)
+	}
+	if w == 0 {
+		return nil
+	}
+	key := [2]int32{int32(u), int32(v)}
+	if !b.directed && u > v {
+		key = [2]int32{int32(v), int32(u)}
+	}
+	b.weights[key] += w
+	return nil
+}
+
+// AddEdgeLabels is AddEdge keyed by node labels, creating nodes on demand.
+func (b *Builder) AddEdgeLabels(src, dst string, w float64) error {
+	return b.AddEdge(b.AddNode(src), b.AddNode(dst), w)
+}
+
+// MustAddEdge is AddEdge but panics on error. For use in tests and
+// generators where inputs are constructed to be valid.
+func (b *Builder) MustAddEdge(u, v int, w float64) {
+	if err := b.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// Build finalizes the graph. The Builder may be reused afterwards, but
+// further additions do not affect the returned Graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.labels)
+	g := &Graph{
+		directed:    b.directed,
+		labels:      append([]string(nil), b.labels...),
+		index:       make(map[string]int32, len(b.index)),
+		edges:       make([]Edge, 0, len(b.weights)),
+		out:         make([][]Arc, n),
+		outStrength: make([]float64, n),
+		inStrength:  make([]float64, n),
+	}
+	for k, v := range b.index {
+		g.index[k] = v
+	}
+	for key, w := range b.weights {
+		g.edges = append(g.edges, Edge{Src: key[0], Dst: key[1], Weight: w})
+	}
+	// Canonical deterministic order: by (Src, Dst).
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].Src != g.edges[j].Src {
+			return g.edges[i].Src < g.edges[j].Src
+		}
+		return g.edges[i].Dst < g.edges[j].Dst
+	})
+	if b.directed {
+		g.in = make([][]Arc, n)
+	}
+	for id, e := range g.edges {
+		g.out[e.Src] = append(g.out[e.Src], Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight})
+		g.outStrength[e.Src] += e.Weight
+		if b.directed {
+			g.in[e.Dst] = append(g.in[e.Dst], Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight})
+			g.inStrength[e.Dst] += e.Weight
+			g.total += e.Weight
+		} else {
+			g.out[e.Dst] = append(g.out[e.Dst], Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight})
+			g.outStrength[e.Dst] += e.Weight
+			g.inStrength[e.Src] += e.Weight
+			g.inStrength[e.Dst] += e.Weight
+			g.total += 2 * e.Weight
+		}
+	}
+	if !b.directed {
+		copy(g.inStrength, g.outStrength)
+	}
+	return g
+}
+
+// FromEdges builds a graph over n anonymous nodes from an edge slice.
+// It panics on invalid edges; intended for generators and tests.
+func FromEdges(directed bool, n int, edges []Edge) *Graph {
+	b := NewBuilder(directed)
+	b.AddNodes(n)
+	for _, e := range edges {
+		b.MustAddEdge(int(e.Src), int(e.Dst), e.Weight)
+	}
+	return b.Build()
+}

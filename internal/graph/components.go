@@ -1,0 +1,43 @@
+package graph
+
+import "repro/internal/unionfind"
+
+// WeakComponents returns a dense component label for each node, ignoring
+// edge direction, plus the number of components. Isolated nodes form
+// singleton components.
+func (g *Graph) WeakComponents() (labels []int, count int) {
+	uf := unionfind.New(g.NumNodes())
+	for _, e := range g.edges {
+		uf.Union(int(e.Src), int(e.Dst))
+	}
+	return uf.Components(), uf.Sets()
+}
+
+// IsWeaklyConnected reports whether all non-isolated nodes belong to a
+// single weak component and there is at least one edge.
+func (g *Graph) IsWeaklyConnected() bool {
+	if len(g.edges) == 0 {
+		return g.NumNodes() <= 1
+	}
+	_, count := g.WeakComponents()
+	return count-g.NumIsolates() == 1
+}
+
+// LargestComponentSize returns the node count of the largest weak component.
+func (g *Graph) LargestComponentSize() int {
+	labels, count := g.WeakComponents()
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(false)
+	b.AddNode("a")
+	b.AddNode("b")
+	b.AddNode("c")
+	b.AddNodes(4) // one isolate
+	b.MustAddEdge(0, 1, 2)
+	b.MustAddEdge(1, 2, 8)
+	g := b.Build()
+	var sb strings.Builder
+	err := g.WriteDOT(&sb, DOTOptions{
+		Name:      "test",
+		NodeColor: []int{0, 0, 1, 2},
+		NodeSize:  []float64{1, 4, 2, 1},
+		EdgeWidth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "test"`, "n0 -- n1", "n1 -- n2", "penwidth", "fillcolor", "label=\"a\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n3 [") {
+		t.Error("isolated node rendered")
+	}
+	// Directed graphs use digraph/->.
+	db := NewBuilder(true)
+	db.AddNodes(2)
+	db.MustAddEdge(0, 1, 1)
+	sb.Reset()
+	if err := db.Build().WriteDOT(&sb, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") || !strings.Contains(sb.String(), "->") {
+		t.Error("directed DOT malformed")
+	}
+}
+
+func TestBipartiteProjection(t *testing.T) {
+	bp := NewBipartite()
+	r0 := bp.AddRow("alice")
+	r1 := bp.AddRow("bob")
+	r2 := bp.AddRow("carol")
+	c0 := bp.AddCol("go")
+	c1 := bp.AddCol("sql")
+	c2 := bp.AddCol("excel")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(bp.Set(r0, c0, 2))
+	must(bp.Set(r0, c1, 1))
+	must(bp.Set(r1, c0, 3))
+	must(bp.Set(r1, c1, 1))
+	must(bp.Set(r2, c2, 1))
+
+	g := bp.ProjectRows(false)
+	if g.NumNodes() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("projection: %v", g)
+	}
+	if w, ok := g.Weight(r0, r1); !ok || w != 2 {
+		t.Errorf("alice-bob share = %v, want 2 columns", w)
+	}
+	if _, ok := g.Weight(r0, r2); ok {
+		t.Error("alice-carol share nothing yet connected")
+	}
+
+	wg := bp.ProjectRows(true)
+	if w, _ := wg.Weight(r0, r1); w != 2*3+1*1 {
+		t.Errorf("weighted projection = %v, want 7", w)
+	}
+}
+
+func TestBipartiteSetValidation(t *testing.T) {
+	bp := NewBipartite()
+	bp.AddRow("r")
+	bp.AddCol("c")
+	if err := bp.Set(5, 0, 1); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if err := bp.Set(0, 0, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := bp.Set(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Set(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g := bp.ProjectRows(false); g.NumEdges() != 0 {
+		t.Error("zeroed entry still projects")
+	}
+	if bp.NumRows() != 1 || bp.NumCols() != 1 {
+		t.Error("mode counts wrong")
+	}
+}

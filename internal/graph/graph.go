@@ -1,0 +1,166 @@
+// Package graph implements the weighted-graph substrate used by every
+// backboning algorithm in this repository.
+//
+// A Graph is an immutable weighted graph, directed or undirected, with
+// dense integer node IDs and optional string labels. Undirected edges
+// are stored exactly once (with Src <= Dst) but contribute to the
+// strength of both endpoints. Parallel edges are merged at build time
+// by summing weights, matching the count-data interpretation of edge
+// weights in Coscia & Neffke (ICDE 2017).
+package graph
+
+import "fmt"
+
+// Edge is a weighted (and possibly directed) connection between two nodes.
+// For undirected graphs the canonical representation has Src <= Dst.
+type Edge struct {
+	Src, Dst int32
+	Weight   float64
+}
+
+// Arc is one directed half of an edge as seen from a node's adjacency list.
+// EdgeID indexes into the graph's canonical edge slice.
+type Arc struct {
+	To     int32
+	EdgeID int32
+	Weight float64
+}
+
+// Graph is an immutable weighted graph. Construct one with a Builder.
+type Graph struct {
+	directed bool
+	labels   []string
+	index    map[string]int32
+
+	edges []Edge
+	out   [][]Arc // directed: outgoing arcs; undirected: all incident arcs
+	in    [][]Arc // directed only; nil for undirected graphs
+
+	outStrength []float64
+	inStrength  []float64
+	total       float64
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of canonical edges
+// (undirected edges count once).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the canonical edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the canonical edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Out returns the outgoing arcs of node u. For undirected graphs this
+// is every incident arc. Callers must not modify the returned slice.
+func (g *Graph) Out(u int) []Arc { return g.out[u] }
+
+// In returns the incoming arcs of node u. For undirected graphs it is
+// identical to Out. Callers must not modify the returned slice.
+func (g *Graph) In(u int) []Arc {
+	if !g.directed {
+		return g.out[u]
+	}
+	return g.in[u]
+}
+
+// OutDegree returns the number of outgoing (or, undirected, incident) arcs.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns the number of incoming (or, undirected, incident) arcs.
+func (g *Graph) InDegree(u int) int { return len(g.In(u)) }
+
+// OutStrength returns the summed weight of u's outgoing arcs
+// (incident arcs if undirected). This is the paper's N_i. .
+func (g *Graph) OutStrength(u int) float64 { return g.outStrength[u] }
+
+// InStrength returns the summed weight of u's incoming arcs
+// (incident arcs if undirected). This is the paper's N_.j .
+func (g *Graph) InStrength(u int) float64 { return g.inStrength[u] }
+
+// TotalWeight returns N.., the sum of all directed interaction weights.
+// For undirected graphs every edge is counted twice (once per direction),
+// so that N_i. , N_.j and N.. are mutually consistent:
+// sum_i N_i. == N.. in both the directed and undirected case.
+func (g *Graph) TotalWeight() float64 { return g.total }
+
+// Label returns the string label of node u ("" if none was assigned).
+func (g *Graph) Label(u int) string {
+	if u < 0 || u >= len(g.labels) {
+		return ""
+	}
+	return g.labels[u]
+}
+
+// Labels returns all node labels, indexed by node ID.
+// Callers must not modify the returned slice.
+func (g *Graph) Labels() []string { return g.labels }
+
+// NodeID returns the node ID for a label, or -1 if unknown.
+func (g *Graph) NodeID(label string) int {
+	if id, ok := g.index[label]; ok {
+		return int(id)
+	}
+	return -1
+}
+
+// Weight returns the weight of the edge from u to v and whether it exists.
+// For undirected graphs order does not matter. O(min deg).
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	arcs := g.out[u]
+	if g.directed && len(g.In(v)) < len(arcs) {
+		for _, a := range g.In(v) {
+			if int(a.To) == u {
+				return a.Weight, true
+			}
+		}
+		return 0, false
+	}
+	for _, a := range arcs {
+		if int(a.To) == v {
+			return a.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph{%s, %d nodes, %d edges, total weight %.6g}",
+		kind, g.NumNodes(), g.NumEdges(), g.total)
+}
+
+// Isolates returns the IDs of nodes with no incident edges.
+func (g *Graph) Isolates() []int {
+	var iso []int
+	for u := range g.out {
+		if len(g.out[u]) == 0 && len(g.In(u)) == 0 {
+			iso = append(iso, u)
+		}
+	}
+	return iso
+}
+
+// NumIsolates returns the number of nodes with no incident edges.
+func (g *Graph) NumIsolates() int {
+	n := 0
+	for u := range g.out {
+		if len(g.out[u]) == 0 && len(g.In(u)) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumConnected returns the number of non-isolated nodes.
+func (g *Graph) NumConnected() int { return g.NumNodes() - g.NumIsolates() }

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses an edge list of the form "src,dst,weight" (one edge per
+// line; '#'-prefixed lines and a "src,dst,..." header are skipped) into a
+// Graph. Fields may also be tab- or space-separated. Node labels are
+// arbitrary strings; IDs are assigned in order of first appearance.
+func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
+	b := NewBuilder(directed)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitFields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("graph: line %d: want 3 fields (src,dst,weight), got %d", lineNo, len(fields))
+		}
+		w, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+		}
+		if err := b.AddEdgeLabels(fields[0], fields[1], w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %v", err)
+	}
+	return b.Build(), nil
+}
+
+func splitFields(line string) []string {
+	if strings.ContainsRune(line, ',') {
+		parts := strings.Split(line, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+	return strings.Fields(line)
+}
+
+// WriteCSV writes the canonical edge list as "src,dst,weight" lines with
+// a header. Nodes without labels are written as their numeric ID.
+func (g *Graph) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "src,dst,weight"); err != nil {
+		return err
+	}
+	name := func(id int32) string {
+		if l := g.labels[id]; l != "" {
+			return l
+		}
+		return strconv.Itoa(int(id))
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%g\n", name(e.Src), name(e.Dst), e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,84 @@
+package graph
+
+// KeepEdges returns a copy of g containing only the edges whose canonical
+// ID is in keep, preserving the full node set (so coverage — the share of
+// nodes left non-isolated — can be measured on the result).
+func (g *Graph) KeepEdges(keep map[int32]bool) *Graph {
+	b := NewBuilder(g.directed)
+	b.labels = append([]string(nil), g.labels...)
+	for l, id := range g.index {
+		b.index[l] = id
+	}
+	for id, e := range g.edges {
+		if keep[int32(id)] {
+			b.MustAddEdge(int(e.Src), int(e.Dst), e.Weight)
+		}
+	}
+	return b.Build()
+}
+
+// FilterEdges returns a copy of g containing only edges for which pred
+// returns true, preserving the full node set.
+func (g *Graph) FilterEdges(pred func(id int, e Edge) bool) *Graph {
+	b := NewBuilder(g.directed)
+	b.labels = append([]string(nil), g.labels...)
+	for l, id := range g.index {
+		b.index[l] = id
+	}
+	for id, e := range g.edges {
+		if pred(id, e) {
+			b.MustAddEdge(int(e.Src), int(e.Dst), e.Weight)
+		}
+	}
+	return b.Build()
+}
+
+// Undirected returns an undirected view of g: reciprocal directed edges
+// are merged by summing their weights. If g is already undirected it is
+// returned unchanged. Used by algorithms defined only for undirected
+// graphs (Maximum Spanning Tree, High Salience Skeleton).
+func (g *Graph) Undirected() *Graph {
+	if !g.directed {
+		return g
+	}
+	b := NewBuilder(false)
+	b.labels = append([]string(nil), g.labels...)
+	for l, id := range g.index {
+		b.index[l] = id
+	}
+	for _, e := range g.edges {
+		b.MustAddEdge(int(e.Src), int(e.Dst), e.Weight)
+	}
+	return b.Build()
+}
+
+// EdgeKey uniquely identifies an edge by endpoints for cross-graph
+// comparison (Jaccard recovery, stability across years). For undirected
+// graphs the key is order-normalized.
+type EdgeKey struct{ U, V int32 }
+
+// Key returns the EdgeKey of edge e under g's directedness.
+func (g *Graph) Key(e Edge) EdgeKey {
+	if !g.directed && e.Src > e.Dst {
+		return EdgeKey{e.Dst, e.Src}
+	}
+	return EdgeKey{e.Src, e.Dst}
+}
+
+// EdgeSet returns the set of edge keys present in g.
+func (g *Graph) EdgeSet() map[EdgeKey]bool {
+	set := make(map[EdgeKey]bool, len(g.edges))
+	for _, e := range g.edges {
+		set[g.Key(e)] = true
+	}
+	return set
+}
+
+// WeightMap returns edge weights keyed by EdgeKey.
+func (g *Graph) WeightMap() map[EdgeKey]float64 {
+	m := make(map[EdgeKey]float64, len(g.edges))
+	for _, e := range g.edges {
+		m[g.Key(e)] = e.Weight
+	}
+	return m
+}

@@ -1,0 +1,187 @@
+package multilayer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// threeLayers builds a 20-node multilayer network where pair (0,1) is
+// strong in every layer (a cross-layer relation) and pair (2,3) is
+// strong only in layer 0 (layer-specific), against a uniform background.
+func threeLayers(t *testing.T) *Multilayer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	m := New(20)
+	for l := 0; l < 3; l++ {
+		b := graph.NewBuilder(false)
+		b.AddNodes(20)
+		for i := 0; i < 20; i++ {
+			for j := i + 1; j < 20; j++ {
+				w := 5 + float64(stats.SamplePoisson(rng, 5))
+				if i == 0 && j == 1 {
+					w += 60 // strong everywhere
+				}
+				if l == 0 && i == 2 && j == 3 {
+					w += 60 // strong only in layer 0
+				}
+				b.MustAddEdge(i, j, w)
+			}
+		}
+		if err := m.AddLayer([]string{"trade", "flight", "migration"}[l], b.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func edgeIndex(t *testing.T, g *graph.Graph, u, v int32) int {
+	t.Helper()
+	for i, e := range g.Edges() {
+		if (e.Src == u && e.Dst == v) || (e.Src == v && e.Dst == u) {
+			return i
+		}
+	}
+	t.Fatalf("edge %d-%d not found", u, v)
+	return -1
+}
+
+func TestZeroCouplingMatchesSingleLayerNC(t *testing.T) {
+	m := threeLayers(t)
+	scores, err := m.CoupledScores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 0; li < m.NumLayers(); li++ {
+		_, g := m.Layer(li)
+		single, err := core.New().Scores(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range single.Score {
+			if math.Abs(single.Score[i]-scores[li].Score[i]) > 1e-12 {
+				t.Fatalf("layer %d edge %d: coupled(rho=0) %v != single %v",
+					li, i, scores[li].Score[i], single.Score[i])
+			}
+		}
+	}
+}
+
+func TestCouplingDiscountsCrossLayerRelations(t *testing.T) {
+	m := threeLayers(t)
+	uncoupled, err := m.CoupledScores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupled, err := m.CoupledScores(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g0 := m.Layer(0)
+	shared := edgeIndex(t, g0, 0, 1)   // strong in all layers
+	specific := edgeIndex(t, g0, 2, 3) // strong only here
+
+	// Uncoupled, both planted edges are comparably significant.
+	if uncoupled[0].Score[shared] < 2 || uncoupled[0].Score[specific] < 2 {
+		t.Fatalf("planted edges not significant uncoupled: %v, %v",
+			uncoupled[0].Score[shared], uncoupled[0].Score[specific])
+	}
+	// Coupled: the cross-layer relation becomes expected — its score
+	// must drop well below the layer-specific one.
+	if coupled[0].Score[shared] >= coupled[0].Score[specific] {
+		t.Errorf("coupling did not discount the shared relation: shared %v >= specific %v",
+			coupled[0].Score[shared], coupled[0].Score[specific])
+	}
+	if coupled[0].Score[shared] >= uncoupled[0].Score[shared] {
+		t.Errorf("shared-relation score did not drop under coupling: %v -> %v",
+			uncoupled[0].Score[shared], coupled[0].Score[shared])
+	}
+	// The layer-specific edge must stay clearly significant.
+	if coupled[0].Score[specific] < 2 {
+		t.Errorf("layer-specific edge lost under coupling: %v", coupled[0].Score[specific])
+	}
+}
+
+func TestCoupledBackbones(t *testing.T) {
+	m := threeLayers(t)
+	bbs, err := m.CoupledBackbones(0.7, 2.32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bbs) != 3 {
+		t.Fatalf("backbones = %d", len(bbs))
+	}
+	_, g0 := m.Layer(0)
+	// The layer-specific planted edge survives in its layer's backbone.
+	if _, ok := bbs[0].Weight(2, 3); !ok {
+		t.Error("layer-specific edge missing from coupled backbone")
+	}
+	if bbs[0].NumNodes() != g0.NumNodes() {
+		t.Error("node set changed")
+	}
+}
+
+func TestMultilayerValidation(t *testing.T) {
+	m := New(5)
+	small := graph.NewBuilder(false)
+	small.AddNodes(3)
+	if err := m.AddLayer("bad", small.Build()); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	if _, err := m.CoupledScores(0.5); err == nil {
+		t.Error("empty multilayer accepted")
+	}
+	ok := graph.NewBuilder(false)
+	ok.AddNodes(5)
+	ok.MustAddEdge(0, 1, 2)
+	if err := m.AddLayer("l0", ok.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CoupledScores(1.5); err == nil {
+		t.Error("rho > 1 accepted")
+	}
+	if _, err := m.CoupledScores(-0.1); err == nil {
+		t.Error("rho < 0 accepted")
+	}
+	if _, err := m.LayerByName("l0"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.LayerByName("nope"); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if m.NumNodes() != 5 || m.NumLayers() != 1 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestSingleLayerPoolFallsBack(t *testing.T) {
+	// One layer only: no pooling information exists, so any rho must
+	// reproduce the single-layer scores.
+	m := New(6)
+	b := graph.NewBuilder(true)
+	b.AddNodes(6)
+	b.MustAddEdge(0, 1, 5)
+	b.MustAddEdge(1, 2, 3)
+	b.MustAddEdge(2, 0, 1)
+	g := b.Build()
+	if err := m.AddLayer("only", g); err != nil {
+		t.Fatal(err)
+	}
+	coupled, err := m.CoupledScores(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := core.New().Scores(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Score {
+		if math.Abs(single.Score[i]-coupled[0].Score[i]) > 1e-12 {
+			t.Errorf("edge %d: single-layer fallback broken", i)
+		}
+	}
+}

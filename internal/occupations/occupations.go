@@ -1,0 +1,297 @@
+// Package occupations synthesizes the data behind the paper's case
+// study (Section VI): an O*NET-like occupation-skill matrix and
+// CPS-like inter-occupational labor flows.
+//
+// The real inputs are public (O*NET 17.0 and the Census CPS) but not
+// redistributable here, so the generator plants the structure the case
+// study depends on: occupations grouped into an expert two-digit
+// classification, minor groups sharing core skill clusters, a pool of
+// generic skills that nearly every occupation uses (the noise source
+// that makes the raw co-occurrence network a hairball — "certain skills
+// are so generic that they show up in most occupations, leading to
+// spurious connections"), and labor flows driven by occupation size and
+// true skill relatedness.
+package occupations
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the synthetic occupation world.
+type Config struct {
+	// Seed fixes all randomness.
+	Seed int64
+	// Majors is the number of one-digit major groups (default 9).
+	Majors int
+	// MinorsPerMajor is the number of two-digit groups per major
+	// (default 3).
+	MinorsPerMajor int
+	// OccsPerMinor is the number of occupations per minor group
+	// (default 16; defaults give 432 occupations, the scale of the
+	// paper's O*NET-based network).
+	OccsPerMinor int
+	// CoreSkills is the number of specific skills per minor group
+	// (default 14).
+	CoreSkills int
+	// GenericSkills is the number of skills shared economy-wide
+	// (default 30).
+	GenericSkills int
+}
+
+// DefaultConfig returns the case-study scale.
+func DefaultConfig() Config {
+	return Config{Seed: 2610, Majors: 9, MinorsPerMajor: 3, OccsPerMinor: 16,
+		CoreSkills: 14, GenericSkills: 30}
+}
+
+func (c *Config) fill() {
+	d := DefaultConfig()
+	if c.Majors == 0 {
+		c.Majors = d.Majors
+	}
+	if c.MinorsPerMajor == 0 {
+		c.MinorsPerMajor = d.MinorsPerMajor
+	}
+	if c.OccsPerMinor == 0 {
+		c.OccsPerMinor = d.OccsPerMinor
+	}
+	if c.CoreSkills == 0 {
+		c.CoreSkills = d.CoreSkills
+	}
+	if c.GenericSkills == 0 {
+		c.GenericSkills = d.GenericSkills
+	}
+}
+
+// Data is a generated case-study instance.
+type Data struct {
+	// Names holds occupation codes like "23-0007".
+	Names []string
+	// Major and Minor are the ground-truth classification digits of each
+	// occupation (the node colors and the modularity classes of the
+	// paper's Figures 10-11).
+	Major, Minor []int
+	// Size is each occupation's employment (job switchers originate and
+	// land proportionally to it).
+	Size []float64
+	// Skills[i][s] marks skill s as relevant to occupation i after the
+	// O*NET-style importance-and-level thresholding, as *measured*:
+	// survey noise adds and drops skills, and it is strongest for small
+	// occupations, whose O*NET profiles rest on few respondents.
+	Skills [][]bool
+	// TrueSkills is the latent skill profile that actually drives labor
+	// flows; analysis pipelines never see it.
+	TrueSkills [][]bool
+	// CoOccurrence is the undirected skill-sharing network: C_ij =
+	// number of skills occupations i and j have in common.
+	CoOccurrence *graph.Graph
+	// Flows is the directed job-switcher network F_ij.
+	Flows *graph.Graph
+	// OutSwitch and InSwitch are total switches originating from and
+	// arriving at each occupation (the S_i. and S_.j regression size
+	// controls).
+	OutSwitch, InSwitch []float64
+}
+
+// NumOccupations returns the node count.
+func (d *Data) NumOccupations() int { return len(d.Names) }
+
+// Generate builds a deterministic case-study instance.
+func Generate(cfg Config) *Data {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nOcc := cfg.Majors * cfg.MinorsPerMajor * cfg.OccsPerMinor
+	nMinor := cfg.Majors * cfg.MinorsPerMajor
+	nSkill := nMinor*cfg.CoreSkills + cfg.GenericSkills
+
+	d := &Data{
+		Names: make([]string, nOcc),
+		Major: make([]int, nOcc),
+		Minor: make([]int, nOcc),
+		Size:  make([]float64, nOcc),
+	}
+	for i := 0; i < nOcc; i++ {
+		minor := i / cfg.OccsPerMinor
+		d.Minor[i] = minor
+		d.Major[i] = minor / cfg.MinorsPerMajor
+		d.Names[i] = fmt.Sprintf("%d%d-%04d", d.Major[i]+1, minor%cfg.MinorsPerMajor+1, i)
+		d.Size[i] = stats.SampleLogNormal(rng, 10, 1.1) // employment
+	}
+
+	// Skill matrix. Skill layout: minor-group cores first, then the
+	// generic pool.
+	d.TrueSkills = make([][]bool, nOcc)
+	genericBase := nMinor * cfg.CoreSkills
+	for i := 0; i < nOcc; i++ {
+		d.TrueSkills[i] = make([]bool, nSkill)
+		minor := d.Minor[i]
+		// Own minor-group core: high probability.
+		for s := 0; s < cfg.CoreSkills; s++ {
+			if rng.Float64() < 0.75 {
+				d.TrueSkills[i][minor*cfg.CoreSkills+s] = true
+			}
+		}
+		// Sibling minors within the same major: moderate sharing — this
+		// makes major groups recoverable as communities.
+		for m := 0; m < nMinor; m++ {
+			if m == minor || m/cfg.MinorsPerMajor != d.Major[i] {
+				continue
+			}
+			for s := 0; s < cfg.CoreSkills; s++ {
+				if rng.Float64() < 0.25 {
+					d.TrueSkills[i][m*cfg.CoreSkills+s] = true
+				}
+			}
+		}
+		// Foreign minors: rare leakage.
+		for m := 0; m < nMinor; m++ {
+			if m/cfg.MinorsPerMajor == d.Major[i] {
+				continue
+			}
+			for s := 0; s < cfg.CoreSkills; s++ {
+				if rng.Float64() < 0.03 {
+					d.TrueSkills[i][m*cfg.CoreSkills+s] = true
+				}
+			}
+		}
+		// Generic skills: the hairball source — most occupations "use"
+		// most of them.
+		for s := 0; s < cfg.GenericSkills; s++ {
+			if rng.Float64() < 0.65 {
+				d.TrueSkills[i][genericBase+s] = true
+			}
+		}
+	}
+
+	// Measured skills: survey noise flips entries, far more often for
+	// small occupations (few O*NET respondents). The flipped entries
+	// poison precisely the edges the Disparity Filter favors — any edge
+	// is a large share of a small occupation's strength — while the NC
+	// posterior variance discounts them.
+	sizeMed := stats.Median(d.Size)
+	d.Skills = make([][]bool, nOcc)
+	for i := 0; i < nOcc; i++ {
+		d.Skills[i] = make([]bool, nSkill)
+		copy(d.Skills[i], d.TrueSkills[i])
+		flip := 0.01 + 0.22*math.Exp(-d.Size[i]/sizeMed)
+		for s := 0; s < nSkill; s++ {
+			if rng.Float64() < flip {
+				d.Skills[i][s] = !d.Skills[i][s]
+			}
+		}
+	}
+
+	// Co-occurrence network: C_ij = |skills in common|.
+	b := graph.NewBuilder(false)
+	for _, name := range d.Names {
+		b.AddNode(name)
+	}
+	for i := 0; i < nOcc; i++ {
+		for j := i + 1; j < nOcc; j++ {
+			common := 0.0
+			for s := 0; s < nSkill; s++ {
+				if d.Skills[i][s] && d.Skills[j][s] {
+					common++
+				}
+			}
+			if common > 0 {
+				b.MustAddEdge(i, j, common)
+			}
+		}
+	}
+	d.CoOccurrence = b.Build()
+
+	// Labor flows: gravity in occupation size times true relatedness.
+	// True relatedness uses only the specific (non-generic) skill
+	// overlap, so flows are predictable from C_ij but not from its noisy
+	// generic component — exactly the signal backboning must recover.
+	fb := graph.NewBuilder(true)
+	for _, name := range d.Names {
+		fb.AddNode(name)
+	}
+	for i := 0; i < nOcc; i++ {
+		for j := 0; j < nOcc; j++ {
+			if i == j {
+				continue
+			}
+			specific := 0.0
+			for s := 0; s < genericBase; s++ {
+				if d.TrueSkills[i][s] && d.TrueSkills[j][s] {
+					specific++
+				}
+			}
+			lam := 3e-8 * d.Size[i] * d.Size[j] * math.Exp(0.5*specific)
+			if lam > 2e5 {
+				lam = 2e5 // cap pathological pairs
+			}
+			f := float64(stats.SamplePoisson(rng, lam))
+			if f > 0 {
+				fb.MustAddEdge(i, j, f)
+			}
+		}
+	}
+	d.Flows = fb.Build()
+
+	d.OutSwitch = make([]float64, nOcc)
+	d.InSwitch = make([]float64, nOcc)
+	for i := 0; i < nOcc; i++ {
+		d.OutSwitch[i] = d.Flows.OutStrength(i)
+		d.InSwitch[i] = d.Flows.InStrength(i)
+	}
+	return d
+}
+
+// FlowDesign builds the case study's flow-prediction regression
+// F_ij = β1·C_ij + β2·S_i. + β3·S_.j over the given ordered pairs:
+// y is the observed flow, the three predictor columns follow the model
+// of Section VI. Pairs may include zero-flow and zero-co-occurrence
+// combinations.
+func (d *Data) FlowDesign(pairs [][2]int) (y []float64, xs [][]float64) {
+	cw := d.CoOccurrence.WeightMap()
+	fw := d.Flows.WeightMap()
+	y = make([]float64, len(pairs))
+	xs = [][]float64{make([]float64, len(pairs)), make([]float64, len(pairs)), make([]float64, len(pairs))}
+	for r, p := range pairs {
+		i, j := p[0], p[1]
+		key := graph.EdgeKey{U: int32(i), V: int32(j)}
+		if i > j {
+			key = graph.EdgeKey{U: int32(j), V: int32(i)}
+		}
+		y[r] = fw[graph.EdgeKey{U: int32(i), V: int32(j)}]
+		xs[0][r] = cw[key]
+		xs[1][r] = d.OutSwitch[i]
+		xs[2][r] = d.InSwitch[j]
+	}
+	return y, xs
+}
+
+// AllPairs returns every ordered pair (i, j), i != j.
+func (d *Data) AllPairs() [][2]int {
+	n := d.NumOccupations()
+	out := make([][2]int, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// PairsFromBackbone returns the ordered pairs (both directions) of an
+// undirected backbone's edges — the restriction used by the case
+// study's "only the (i, j) pairs included in the backbone" regressions.
+func PairsFromBackbone(bb *graph.Graph) [][2]int {
+	out := make([][2]int, 0, 2*bb.NumEdges())
+	for _, e := range bb.Edges() {
+		out = append(out, [2]int{int(e.Src), int(e.Dst)})
+		out = append(out, [2]int{int(e.Dst), int(e.Src)})
+	}
+	return out
+}

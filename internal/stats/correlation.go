@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation between x and y.
+// It returns NaN if the slices differ in length, have fewer than two
+// elements, or either has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// LogLogPearson returns the Pearson correlation of log10(x) vs log10(y),
+// silently dropping pairs where either value is not strictly positive.
+// This is the correlation the paper reports for edge weight vs average
+// neighbor edge weight (Figure 6).
+func LogLogPearson(x, y []float64) float64 {
+	lx := make([]float64, 0, len(x))
+	ly := make([]float64, 0, len(y))
+	for i := range x {
+		if i < len(y) && x[i] > 0 && y[i] > 0 {
+			lx = append(lx, math.Log10(x[i]))
+			ly = append(ly, math.Log10(y[i]))
+		}
+	}
+	return Pearson(lx, ly)
+}
+
+// Ranks returns the fractional ranks of xs (1-based), assigning tied
+// values the average of the ranks they span — the convention required
+// for Spearman correlation with ties.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// ranks i+1 .. j+1 (1-based) are tied: average them.
+		avg := float64(i+j+2) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient between x and
+// y, handling ties by fractional ranking. The paper uses it as the
+// Stability metric: corr(N_t, N_{t+1}) over backbone edges (Section V-F).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, Variance(xs), 32.0/7, 1e-12, "variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "stddev")
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single value should be NaN")
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// 1 + 1e-16 added 1e6 times: naive float64 summation loses the tail.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("Kahan sum = %.18f, want %.18f", got, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	approx(t, Quantile(xs, 0), 1, 0, "q0")
+	approx(t, Quantile(xs, 1), 5, 0, "q1")
+	approx(t, Median(xs), 3, 0, "median")
+	approx(t, Quantile(xs, 0.25), 2, 1e-12, "q25")
+	approx(t, Quantile(xs, 0.1), 1.4, 1e-12, "q10 interpolated")
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) {
+		t.Error("invalid quantile inputs should return NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestPearsonExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	approx(t, Pearson(x, y), 1, 1e-12, "perfect positive")
+	yneg := []float64{8, 6, 4, 2}
+	approx(t, Pearson(x, yneg), -1, 1e-12, "perfect negative")
+	if !math.IsNaN(Pearson(x, []float64{1, 1, 1, 1})) {
+		t.Error("zero-variance should yield NaN")
+	}
+	if !math.IsNaN(Pearson(x, []float64{1, 2})) {
+		t.Error("length mismatch should yield NaN")
+	}
+}
+
+func TestSpearmanTiesAndMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 1, 4, 3, 5}
+	// Hand-computed: d = (1-2, 2-1, 3-4, 4-3, 5-5), sum d² = 4, ρ = 1-24/120 = 0.8.
+	approx(t, Spearman(x, y), 0.8, 1e-12, "spearman")
+	// Ties: ranks average.
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range r {
+		approx(t, r[i], want[i], 1e-12, "rank with ties")
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestQuickSpearmanMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		base := Spearman(x, y)
+		tx := make([]float64, n)
+		for i := range x {
+			tx[i] = math.Exp(2*x[i]) + 5 // strictly increasing
+		}
+		return math.Abs(Spearman(tx, y)-base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |Pearson| <= 1 and Pearson is symmetric.
+func TestQuickPearsonBoundsSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			y[i] = rng.NormFloat64() * 10
+		}
+		r := Pearson(x, y)
+		if math.IsNaN(r) {
+			return true
+		}
+		return r <= 1+1e-12 && r >= -1-1e-12 && math.Abs(r-Pearson(y, x)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogLogPearsonDropsNonPositive(t *testing.T) {
+	x := []float64{10, 100, 1000, -5, 0}
+	y := []float64{1, 10, 100, 7, 7}
+	approx(t, LogLogPearson(x, y), 1, 1e-12, "log-log on positives only")
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+)
+
+// NormalCDF returns P(Z <= z) for a standard normal variable.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z such that NormalCDF(z) == p, using the
+// Acklam rational approximation (relative error < 1.15e-9), refined by
+// one Halley step. It lets callers translate the NC backbone's δ
+// parameter to and from one-tailed p-values (δ = 1.28, 1.64, 2.32
+// approximate p = 0.1, 0.05, 0.01 in the paper).
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// LogBinomialCoef returns log C(n, k) via log-gamma.
+func LogBinomialCoef(n, k float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(n + 1)
+	lk, _ := math.Lgamma(k + 1)
+	lnk, _ := math.Lgamma(n - k + 1)
+	return ln - lk - lnk
+}
+
+// BinomialLogPMF returns log P(X = k) for X ~ Binomial(n, p).
+func BinomialLogPMF(k, n, p float64) float64 {
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogBinomialCoef(n, k) + k*math.Log(p) + (n-k)*math.Log1p(-p)
+}
+
+// BinomialSF returns the upper tail P(X >= k) for X ~ Binomial(n, p),
+// computed through the regularized incomplete beta function:
+// P(X >= k) = I_p(k, n-k+1). This is the p-value of the footnote-2
+// variant of the Noise-Corrected backbone, which tests an observed edge
+// weight directly against the binomial null model.
+func BinomialSF(k, n, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	return RegIncBeta(k, n-k+1, p)
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b),
+// evaluated with the Lentz continued fraction (Numerical Recipes §6.4).
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a + b)
+	lb, _ := math.Lgamma(a)
+	lc, _ := math.Lgamma(b)
+	front := math.Exp(la - lb - lc + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// BetaMoments returns the mean and variance of a Beta(alpha, beta)
+// distribution (paper Eqs. 5 and 6).
+func BetaMoments(alpha, beta float64) (mean, variance float64) {
+	s := alpha + beta
+	mean = alpha / s
+	variance = alpha * beta / (s * s * (s + 1))
+	return mean, variance
+}
+
+// BetaFromMoments inverts BetaMoments: given a target mean mu in (0,1)
+// and variance sigma2 in (0, mu(1-mu)), it returns the alpha and beta
+// parameters (paper Eqs. 7 and 8). It is the moment-matching step that
+// turns the hypergeometric prior moments into a conjugate Beta prior in
+// the Noise-Corrected backbone.
+func BetaFromMoments(mu, sigma2 float64) (alpha, beta float64) {
+	alpha = mu*mu/sigma2*(1-mu) - mu
+	beta = mu*((1-mu)*(1-mu)/sigma2+1) - 1
+	return alpha, beta
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram bins values into equal-width bins over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	N        int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins spanning
+// the data range. Values exactly at Max land in the last bin.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	h := &Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 || bins <= 0 {
+		return h
+	}
+	h.Min, h.Max = MinMax(xs)
+	width := (h.Max - h.Min) / float64(bins)
+	for _, x := range xs {
+		var b int
+		if width > 0 {
+			b = int((x - h.Min) / width)
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+		h.N++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*width
+}
+
+// Share returns the fraction of observations in bin i.
+func (h *Histogram) Share(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// Render draws a simple fixed-width ASCII bar chart, one row per bin —
+// used by the experiment drivers to emit Figure 2's score distributions.
+func (h *Histogram) Render(width int) string {
+	var sb strings.Builder
+	maxShare := 0.0
+	for i := range h.Counts {
+		if s := h.Share(i); s > maxShare {
+			maxShare = s
+		}
+	}
+	for i := range h.Counts {
+		share := h.Share(i)
+		bar := 0
+		if maxShare > 0 {
+			bar = int(math.Round(share / maxShare * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%9.3f | %-*s %.4f\n", h.BinCenter(i), width, strings.Repeat("#", bar), share)
+	}
+	return sb.String()
+}
+
+// CCDF returns the points of the empirical complementary-cumulative
+// distribution P(X >= x) evaluated at each distinct value of xs, sorted
+// ascending. Figure 5 plots this for the six country networks' edge
+// weights on log-log axes.
+func CCDF(xs []float64) (values, prob []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1] == s[i] {
+			j++
+		}
+		values = append(values, s[i])
+		prob = append(prob, (n-float64(i))/n)
+		i = j + 1
+	}
+	return values, prob
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau returns Kendall's τ-b rank correlation between x and y,
+// with the standard tie correction. The paper notes that "in principle,
+// any distance metric is appropriate" for the Stability criterion; τ-b
+// is the customary alternative to the Spearman coefficient used in the
+// main text, and the experiments expose both.
+//
+// The implementation counts discordant pairs with a merge-sort
+// inversion count, O(n log n) — the naive O(n²) pair scan would
+// dominate the stability sweeps on large backbones.
+func KendallTau(x, y []float64) float64 {
+	n := len(x)
+	if len(y) != n || n < 2 {
+		return math.NaN()
+	}
+	// Sort indices by x, breaking ties by y to group x-ties contiguously.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] < x[idx[b]]
+		}
+		return y[idx[a]] < y[idx[b]]
+	})
+	ys := make([]float64, n)
+	for i, id := range idx {
+		ys[i] = y[id]
+	}
+
+	// Tie bookkeeping.
+	var tiesX, tiesXY float64 // pairs tied in x; pairs tied in both
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		cnt := float64(j - i + 1)
+		tiesX += cnt * (cnt - 1) / 2
+		// Within an x-tie block, count y ties.
+		for a := i; a <= j; {
+			b := a
+			for b+1 <= j && ys[b+1] == ys[a] {
+				b++
+			}
+			c := float64(b - a + 1)
+			tiesXY += c * (c - 1) / 2
+			a = b + 1
+		}
+		i = j + 1
+	}
+	var tiesY float64
+	sortedY := append([]float64(nil), y...)
+	sort.Float64s(sortedY)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sortedY[j+1] == sortedY[i] {
+			j++
+		}
+		cnt := float64(j - i + 1)
+		tiesY += cnt * (cnt - 1) / 2
+		i = j + 1
+	}
+
+	// Discordant pairs = inversions in ys, excluding pairs tied in x
+	// (they are neither concordant nor discordant) and pairs tied in y.
+	discord := float64(countInversions(append([]float64(nil), ys...)))
+	// Inversions counted within x-tie blocks are not discordant; because
+	// blocks were sorted by y, they contribute zero inversions. Pairs
+	// tied in y only are also counted as zero by strict inversion.
+
+	total := float64(n) * float64(n-1) / 2
+	concord := total - discord - tiesX - tiesY + tiesXY
+	// tiesXY pairs were subtracted twice (once in tiesX, once in tiesY).
+	denom := math.Sqrt((total - tiesX) * (total - tiesY))
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (concord - discord) / denom
+}
+
+// countInversions counts strict inversions (a[i] > a[j], i < j) by
+// merge sort, consuming its input.
+func countInversions(a []float64) int64 {
+	buf := make([]float64, len(a))
+	return mergeCount(a, buf)
+}
+
+func mergeCount(a, buf []float64) int64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			buf[k] = a[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = a[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = a[j]
+		j++
+		k++
+	}
+	copy(a, buf[:k])
+	return inv
+}

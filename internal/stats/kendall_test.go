@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveKendall is the O(n²) τ-b reference.
+func naiveKendall(x, y []float64) float64 {
+	n := len(x)
+	var concord, discord, tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concord++
+			default:
+				discord++
+			}
+		}
+	}
+	total := float64(n) * float64(n-1) / 2
+	denom := math.Sqrt((total - tiesX) * (total - tiesY))
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (concord - discord) / denom
+}
+
+func TestKendallKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := KendallTau(x, x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("tau(x,x) = %v", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := KendallTau(x, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("tau reversed = %v", got)
+	}
+	// Hand-checked: one swap in 4 elements: C=5, D=1, tau = 4/6.
+	y := []float64{1, 3, 2, 4}
+	if got := KendallTau([]float64{1, 2, 3, 4}, y); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("tau one swap = %v, want %v", got, 4.0/6)
+	}
+	if !math.IsNaN(KendallTau(x, []float64{1, 2})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(KendallTau([]float64{1, 1}, []float64{2, 3})) {
+		t.Error("all-tied x should be NaN")
+	}
+}
+
+// Property: the merge-sort implementation matches the naive O(n²)
+// reference on random data with ties.
+func TestQuickKendallAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(8)) // many ties
+			y[i] = float64(rng.Intn(8))
+		}
+		a := KendallTau(x, y)
+		b := naiveKendall(x, y)
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountInversions(t *testing.T) {
+	if got := countInversions([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("inversions = %d, want 2", got)
+	}
+	if got := countInversions([]float64{1, 2, 3}); got != 0 {
+		t.Errorf("inversions = %d, want 0", got)
+	}
+	if got := countInversions([]float64{4, 3, 2, 1}); got != 6 {
+		t.Errorf("inversions = %d, want 6", got)
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// OLSResult holds a fitted ordinary-least-squares regression.
+type OLSResult struct {
+	// Coef holds the fitted coefficients; Coef[0] is the intercept and
+	// Coef[1..] correspond to the predictor columns in order.
+	Coef []float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// N is the number of observations used.
+	N int
+	// Fitted holds the in-sample predictions, aligned with the input rows.
+	Fitted []float64
+}
+
+// OLS fits y = b0 + b1*x1 + ... + bk*xk by ordinary least squares.
+// xs holds one slice per predictor, each the same length as y.
+// The normal equations are solved by Gaussian elimination with partial
+// pivoting; perfectly collinear predictors yield an error.
+//
+// This is the regression engine behind the paper's Quality criterion
+// (Table II): Quality = R² on backbone edges / R² on all edges.
+func OLS(y []float64, xs ...[]float64) (*OLSResult, error) {
+	n := len(y)
+	k := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: OLS with no observations")
+	}
+	for j, x := range xs {
+		if len(x) != n {
+			return nil, fmt.Errorf("stats: OLS predictor %d has %d rows, want %d", j, len(x), n)
+		}
+	}
+	if n <= k {
+		return nil, fmt.Errorf("stats: OLS needs more observations (%d) than parameters (%d)", n, k+1)
+	}
+
+	p := k + 1 // parameters including intercept
+	// Build X'X (p×p) and X'y (p) directly; column 0 is the constant 1.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	col := func(j, row int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return xs[j-1][row]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			ci := col(i, r)
+			xty[i] += ci * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += ci * col(j, r)
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	coef, err := solveLinear(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS: %w", err)
+	}
+
+	fitted := make([]float64, n)
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		pred := coef[0]
+		for j := 1; j < p; j++ {
+			pred += coef[j] * xs[j-1][r]
+		}
+		fitted[r] = pred
+		d := y[r] - pred
+		ssRes += d * d
+		dt := y[r] - my
+		ssTot += dt * dt
+	}
+	r2 := math.NaN()
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return &OLSResult{Coef: coef, R2: r2, N: n, Fitted: fitted}, nil
+}
+
+// solveLinear solves A x = b in place by Gaussian elimination with
+// partial pivoting. A must be square and b the matching length.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for c := 0; c < n; c++ {
+		// Partial pivot.
+		pivot := c
+		for r := c + 1; r < n; r++ {
+			if math.Abs(a[r][c]) > math.Abs(a[pivot][c]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][c]) < 1e-12 {
+			return nil, fmt.Errorf("singular design matrix (collinear predictors)")
+		}
+		a[c], a[pivot] = a[pivot], a[c]
+		b[c], b[pivot] = b[pivot], b[c]
+		inv := 1 / a[c][c]
+		for r := c + 1; r < n; r++ {
+			f := a[r][c] * inv
+			if f == 0 {
+				continue
+			}
+			for j := c; j < n; j++ {
+				a[r][j] -= f * a[c][j]
+			}
+			b[r] -= f * b[c]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for j := r + 1; j < n; j++ {
+			v -= a[r][j] * x[j]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}

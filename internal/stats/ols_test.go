@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSRecoversExactLinearModel(t *testing.T) {
+	// y = 3 + 2*x1 - 0.5*x2, noiseless: coefficients exact, R² = 1.
+	n := 50
+	rng := rand.New(rand.NewSource(1))
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = rng.NormFloat64()
+		x2[i] = rng.NormFloat64() * 3
+		y[i] = 3 + 2*x1[i] - 0.5*x2[i]
+	}
+	res, err := OLS(y, x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Coef[0], 3, 1e-9, "intercept")
+	approx(t, res.Coef[1], 2, 1e-9, "beta1")
+	approx(t, res.Coef[2], -0.5, 1e-9, "beta2")
+	approx(t, res.R2, 1, 1e-9, "R2")
+	if res.N != n {
+		t.Errorf("N = %d, want %d", res.N, n)
+	}
+	for i := range y {
+		approx(t, res.Fitted[i], y[i], 1e-9, "fitted")
+	}
+}
+
+func TestOLSInterceptOnly(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	res, err := OLS(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Coef[0], 2.5, 1e-12, "intercept-only = mean")
+	approx(t, res.R2, 0, 1e-12, "intercept-only R2 = 0")
+}
+
+func TestOLSSimpleRegressionMatchesPearson(t *testing.T) {
+	// Single-predictor R² equals squared Pearson correlation.
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 1.5*x[i] + rng.NormFloat64()
+	}
+	res, err := OLS(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Pearson(x, y)
+	approx(t, res.R2, r*r, 1e-9, "R² == r²")
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil); err == nil {
+		t.Error("empty y accepted")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("ragged predictor accepted")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1, 2}, []float64{3, 4}); err == nil {
+		t.Error("n <= k accepted")
+	}
+	// Perfect collinearity: x2 = 2*x1.
+	x1 := []float64{1, 2, 3, 4, 5}
+	x2 := []float64{2, 4, 6, 8, 10}
+	y := []float64{1, 2, 3, 4, 5}
+	if _, err := OLS(y, x1, x2); err == nil {
+		t.Error("collinear design accepted")
+	}
+}
+
+// Property: R² is in [0,1] for any well-posed problem, and adding a pure
+// noise predictor never lowers in-sample R².
+func TestQuickOLSR2Monotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		x := make([]float64, n)
+		z := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			z[i] = rng.NormFloat64()
+			y[i] = x[i] + 0.5*rng.NormFloat64()
+		}
+		r1, err1 := OLS(y, x)
+		r2, err2 := OLS(y, x, z)
+		if err1 != nil || err2 != nil {
+			return true // singular by chance; skip
+		}
+		if r1.R2 < -1e-9 || r1.R2 > 1+1e-9 {
+			return false
+		}
+		return r2.R2 >= r1.R2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, x[0], 1, 1e-12, "x0")
+	approx(t, x[1], 3, 1e-12, "x1")
+	// Singular system is rejected.
+	if _, err := solveLinear([][]float64{{1, 2}, {2, 4}}, []float64{1, 2}); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestHistogramSharesAndCCDF(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	if h.N != 10 {
+		t.Fatalf("N = %d", h.N)
+	}
+	var total float64
+	for i := range h.Counts {
+		if h.Counts[i] != 2 {
+			t.Errorf("bin %d count = %d, want 2", i, h.Counts[i])
+		}
+		total += h.Share(i)
+	}
+	approx(t, total, 1, 1e-12, "shares sum to 1")
+	if h.Render(20) == "" {
+		t.Error("Render returned empty")
+	}
+
+	vals, prob := CCDF([]float64{1, 1, 2, 5})
+	if len(vals) != 3 {
+		t.Fatalf("CCDF distinct values = %d, want 3", len(vals))
+	}
+	approx(t, prob[0], 1, 1e-12, "P(X>=1)")
+	approx(t, prob[1], 0.5, 1e-12, "P(X>=2)")
+	approx(t, prob[2], 0.25, 1e-12, "P(X>=5)")
+	if v, p := CCDF(nil); v != nil || p != nil {
+		t.Error("empty CCDF should be nil")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram(nil, 4)
+	if h.N != 0 {
+		t.Error("empty histogram has observations")
+	}
+	// All-equal values land in one bin without dividing by zero.
+	h = NewHistogram([]float64{5, 5, 5}, 3)
+	if h.Counts[0] != 3 {
+		t.Errorf("constant data: counts = %v", h.Counts)
+	}
+	if math.IsNaN(h.BinCenter(0)) {
+		t.Error("BinCenter NaN for constant data")
+	}
+}

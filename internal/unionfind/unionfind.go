@@ -1,0 +1,90 @@
+// Package unionfind provides a disjoint-set (union-find) data structure
+// with union by rank and path compression.
+//
+// It is the workhorse behind Kruskal's maximum spanning tree, connected
+// component computation, and the Doubly-Stochastic backbone's stopping
+// rule ("add edges until the backbone is one connected component").
+package unionfind
+
+// UnionFind maintains a partition of {0, ..., n-1} into disjoint sets.
+// The zero value is not usable; call New.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a UnionFind over n singleton sets.
+func New(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Len returns the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Find returns the canonical representative of x's set,
+// compressing paths as it goes.
+func (uf *UnionFind) Find(x int) int {
+	root := int32(x)
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	// Path compression: point every node on the walk directly at the root.
+	for int32(x) != root {
+		next := uf.parent[x]
+		uf.parent[x] = root
+		x = int(next)
+	}
+	return int(root)
+}
+
+// Union merges the sets containing x and y.
+// It reports whether a merge happened (false if they were already joined).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = int32(rx)
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Components returns, for each element, a dense component label in
+// [0, Sets()), numbered in order of first appearance.
+func (uf *UnionFind) Components() []int {
+	labels := make([]int, len(uf.parent))
+	next := 0
+	seen := make(map[int]int, uf.sets)
+	for i := range uf.parent {
+		r := uf.Find(i)
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			seen[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}

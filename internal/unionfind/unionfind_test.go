@@ -1,0 +1,141 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	uf := New(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets() = %d, want 5", uf.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if uf.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, uf.Find(i), i)
+		}
+	}
+	if uf.Connected(0, 1) {
+		t.Error("fresh elements reported connected")
+	}
+}
+
+func TestUnionMergesAndCounts(t *testing.T) {
+	uf := New(6)
+	if !uf.Union(0, 1) {
+		t.Error("first Union(0,1) returned false")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeated Union(1,0) returned true")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if !uf.Connected(1, 2) {
+		t.Error("1 and 2 should be connected transitively")
+	}
+	if uf.Sets() != 3 {
+		t.Errorf("Sets() = %d, want 3 ({0,1,2,3},{4},{5})", uf.Sets())
+	}
+}
+
+func TestComponentsLabels(t *testing.T) {
+	uf := New(5)
+	uf.Union(0, 2)
+	uf.Union(3, 4)
+	labels := uf.Components()
+	if labels[0] != labels[2] {
+		t.Error("0 and 2 have different labels")
+	}
+	if labels[3] != labels[4] {
+		t.Error("3 and 4 have different labels")
+	}
+	if labels[0] == labels[1] || labels[1] == labels[3] || labels[0] == labels[3] {
+		t.Errorf("distinct components share labels: %v", labels)
+	}
+	// Labels must be dense, starting at 0.
+	max := 0
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	if max != uf.Sets()-1 {
+		t.Errorf("max label %d, want %d", max, uf.Sets()-1)
+	}
+}
+
+func TestZeroElements(t *testing.T) {
+	uf := New(0)
+	if uf.Sets() != 0 || uf.Len() != 0 {
+		t.Errorf("empty UF: Sets=%d Len=%d", uf.Sets(), uf.Len())
+	}
+	if got := uf.Components(); len(got) != 0 {
+		t.Errorf("Components() = %v, want empty", got)
+	}
+}
+
+// Property: after any sequence of unions, Sets() equals n minus the
+// number of successful merges, and Connected agrees with a brute-force
+// reference implementation.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		uf := New(n)
+		ref := make([]int, n) // reference: naive label array
+		for i := range ref {
+			ref[i] = i
+		}
+		merges := 0
+		for k := 0; k < 3*n; k++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			merged := uf.Union(x, y)
+			if ref[x] != ref[y] {
+				if !merged {
+					return false
+				}
+				merges++
+				old, nw := ref[y], ref[x]
+				for i := range ref {
+					if ref[i] == old {
+						ref[i] = nw
+					}
+				}
+			} else if merged {
+				return false
+			}
+		}
+		if uf.Sets() != n-merges {
+			return false
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if uf.Connected(x, y) != (ref[x] == ref[y]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int, n)
+	ys := make([]int, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Intn(n), rng.Intn(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := New(n)
+		for j := range xs {
+			uf.Union(xs[j], ys[j])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package world
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ECI computes the Economic Complexity Index of every country from a
+// binarized RCA export matrix, using the method of reflections of
+// Hidalgo & Hausmann (2009) as popularized by the Atlas of Economic
+// Complexity [17] — the source the paper takes its complexity predictor
+// from. Iterating
+//
+//	k_c,N = (1/k_c,0) Σ_p M_cp k_p,N-1
+//	k_p,N = (1/k_p,0) Σ_c M_cp k_c,N-1
+//
+// from diversity k_c,0 and ubiquity k_p,0 converges (up to affine
+// rescaling) to the complexity ranking; the returned index is the
+// z-scored 18th country reflection.
+func ECI(m [][]bool) []float64 {
+	n := len(m)
+	if n == 0 {
+		return nil
+	}
+	np := len(m[0])
+	kc := make([]float64, n)
+	kp := make([]float64, np)
+	for c := 0; c < n; c++ {
+		for p := 0; p < np; p++ {
+			if m[c][p] {
+				kc[c]++
+				kp[p]++
+			}
+		}
+	}
+	kc0 := append([]float64(nil), kc...)
+	kp0 := append([]float64(nil), kp...)
+	// 18 reflections (an even number returns to country space with the
+	// complexity interpretation).
+	curC := append([]float64(nil), kc...)
+	curP := append([]float64(nil), kp...)
+	for iter := 0; iter < 9; iter++ {
+		nextC := make([]float64, n)
+		for c := 0; c < n; c++ {
+			if kc0[c] == 0 {
+				continue
+			}
+			var s float64
+			for p := 0; p < np; p++ {
+				if m[c][p] {
+					s += curP[p]
+				}
+			}
+			nextC[c] = s / kc0[c]
+		}
+		nextP := make([]float64, np)
+		for p := 0; p < np; p++ {
+			if kp0[p] == 0 {
+				continue
+			}
+			var s float64
+			for c := 0; c < n; c++ {
+				if m[c][p] {
+					s += curC[c]
+				}
+			}
+			nextP[p] = s / kp0[p]
+		}
+		curC, curP = nextC, nextP
+	}
+	// The reflections define complexity only up to sign (odd country
+	// reflections average product ubiquity and come out inverted);
+	// follow the standard convention of orienting the index so that it
+	// correlates positively with diversity.
+	if stats.Pearson(curC, kc0) < 0 {
+		for c := range curC {
+			curC[c] = -curC[c]
+		}
+	}
+	// Z-score.
+	mean := stats.Mean(curC)
+	sd := stats.StdDev(curC)
+	out := make([]float64, n)
+	for c := range out {
+		if sd > 0 && !math.IsNaN(sd) {
+			out[c] = (curC[c] - mean) / sd
+		}
+	}
+	return out
+}
+
+// MeasuredECI computes the ECI from the world's latent export matrix
+// after RCA binarization — the "observed" complexity used as a
+// regression predictor for the Country Space network.
+func (w *World) MeasuredECI() []float64 {
+	return ECI(RCA(w.Exports))
+}

@@ -1,0 +1,119 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Predictors supplies the per-network regression variables of the
+// paper's Quality experiment (Table II):
+//
+//	Business       distance, populations, trade volume
+//	Country Space  distance, economic complexity of the two countries
+//	Flight         distance, populations (a pure gravity model)
+//	Migration      distance, populations, common language, colonial tie
+//	Ownership      distance, FDI
+//	Trade          distance, populations, business travel
+type Predictors struct {
+	w     *World
+	eci   []float64
+	trade map[graph.EdgeKey]float64
+	bus   map[graph.EdgeKey]float64
+}
+
+// Predictors builds the predictor tables. The trade and business-travel
+// predictors come from the latest observation year of the corresponding
+// synthetic networks, mirroring how the paper predicts one network from
+// another.
+func (w *World) Predictors() *Predictors {
+	return &Predictors{
+		w:     w,
+		eci:   w.MeasuredECI(),
+		trade: w.Trade().Latest().WeightMap(),
+		bus:   w.Business().Latest().WeightMap(),
+	}
+}
+
+// Row computes the predictor vector for the pair (i, j) of the named
+// dataset. Columns are in a fixed per-dataset order.
+func (p *Predictors) Row(dataset string, i, j int) ([]float64, error) {
+	logDist := math.Log(p.w.Dist[i][j] + 1)
+	logPopI := math.Log(p.w.Countries[i].Population)
+	logPopJ := math.Log(p.w.Countries[j].Population)
+	key := graph.EdgeKey{U: int32(i), V: int32(j)}
+	switch dataset {
+	case "Business":
+		return []float64{logDist, logPopI, logPopJ, math.Log1p(p.trade[key])}, nil
+	case "Country Space":
+		// Symmetric complexity predictors for an undirected network.
+		sum := p.eci[i] + p.eci[j]
+		diff := math.Abs(p.eci[i] - p.eci[j])
+		return []float64{logDist, sum, -diff}, nil
+	case "Flight":
+		return []float64{logDist, logPopI, logPopJ}, nil
+	case "Migration":
+		lang, tie := 0.0, 0.0
+		if p.w.SameLanguage[i][j] {
+			lang = 1
+		}
+		if p.w.ColonialTie[i][j] {
+			tie = 1
+		}
+		return []float64{logDist, logPopI, logPopJ, lang, tie}, nil
+	case "Ownership":
+		return []float64{logDist, math.Log1p(p.w.fdi[i][j])}, nil
+	case "Trade":
+		return []float64{logDist, logPopI, logPopJ, math.Log1p(p.bus[key])}, nil
+	}
+	return nil, fmt.Errorf("world: no predictor model for dataset %q", dataset)
+}
+
+// Columns returns the predictor names for the named dataset.
+func (p *Predictors) Columns(dataset string) []string {
+	switch dataset {
+	case "Business":
+		return []string{"log dist", "log pop_i", "log pop_j", "log trade"}
+	case "Country Space":
+		return []string{"log dist", "eci sum", "-|eci diff|"}
+	case "Flight":
+		return []string{"log dist", "log pop_i", "log pop_j"}
+	case "Migration":
+		return []string{"log dist", "log pop_i", "log pop_j", "same lang", "colonial"}
+	case "Ownership":
+		return []string{"log dist", "log fdi"}
+	case "Trade":
+		return []string{"log dist", "log pop_i", "log pop_j", "log business"}
+	}
+	return nil
+}
+
+// Design assembles the OLS design for a set of edges of the named
+// dataset: y = log(N_ij + 1) and one column slice per predictor.
+func (p *Predictors) Design(dataset string, edges []graph.Edge) (y []float64, xs [][]float64, err error) {
+	if len(edges) == 0 {
+		return nil, nil, fmt.Errorf("world: empty edge set for %s design", dataset)
+	}
+	first, err := p.Row(dataset, int(edges[0].Src), int(edges[0].Dst))
+	if err != nil {
+		return nil, nil, err
+	}
+	k := len(first)
+	y = make([]float64, len(edges))
+	xs = make([][]float64, k)
+	for c := range xs {
+		xs[c] = make([]float64, len(edges))
+	}
+	for r, e := range edges {
+		row, err := p.Row(dataset, int(e.Src), int(e.Dst))
+		if err != nil {
+			return nil, nil, err
+		}
+		y[r] = math.Log1p(e.Weight)
+		for c := range row {
+			xs[c][r] = row[c]
+		}
+	}
+	return y, xs, nil
+}

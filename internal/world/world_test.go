@@ -1,0 +1,304 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func smallConfig() Config {
+	return Config{Seed: 99, Countries: 60, Products: 150, Years: 3}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	w1 := New(smallConfig())
+	w2 := New(smallConfig())
+	for i := range w1.Countries {
+		if w1.Countries[i] != w2.Countries[i] {
+			t.Fatalf("country %d differs between identically-seeded worlds", i)
+		}
+	}
+	g1 := w1.Trade().Latest()
+	g2 := w2.Trade().Latest()
+	if g1.NumEdges() != g2.NumEdges() || g1.TotalWeight() != g2.TotalWeight() {
+		t.Error("Trade network not deterministic")
+	}
+}
+
+func TestCountryAttributes(t *testing.T) {
+	w := New(smallConfig())
+	if len(w.Countries) != 60 {
+		t.Fatalf("countries = %d", len(w.Countries))
+	}
+	for i, c := range w.Countries {
+		if c.Population <= 0 {
+			t.Errorf("country %d population %v", i, c.Population)
+		}
+		if c.Capability < 0 || c.Capability > 1 {
+			t.Errorf("capability out of range: %v", c.Capability)
+		}
+		if c.Lat < -90 || c.Lat > 90 || c.Lon < -180 || c.Lon > 180 {
+			t.Errorf("bad coordinates: %v %v", c.Lat, c.Lon)
+		}
+		if c.Name == "" {
+			t.Error("empty country name")
+		}
+	}
+	// Distance matrix: symmetric, zero diagonal, triangle-inequality-ish.
+	for i := 0; i < 60; i++ {
+		if w.Dist[i][i] != 0 {
+			t.Errorf("Dist[%d][%d] = %v", i, i, w.Dist[i][i])
+		}
+		for j := 0; j < 60; j++ {
+			if w.Dist[i][j] != w.Dist[j][i] {
+				t.Errorf("distance asymmetry at %d,%d", i, j)
+			}
+			if i != j && (w.Dist[i][j] <= 0 || w.Dist[i][j] > 20100) {
+				t.Errorf("distance %v out of Earth's range", w.Dist[i][j])
+			}
+		}
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Antipodal points: half the Earth's circumference ~ 20015 km.
+	d := haversineKm(0, 0, 0, 180)
+	if math.Abs(d-20015) > 25 {
+		t.Errorf("antipodal distance = %v", d)
+	}
+	if haversineKm(45, 45, 45, 45) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestSixDatasets(t *testing.T) {
+	w := New(smallConfig())
+	dss := w.AllDatasets()
+	if len(dss) != 6 {
+		t.Fatalf("datasets = %d", len(dss))
+	}
+	wantNames := []string{"Business", "Country Space", "Flight", "Migration", "Ownership", "Trade"}
+	wantDirected := []bool{true, false, true, true, true, true}
+	for k, ds := range dss {
+		if ds.Name != wantNames[k] {
+			t.Errorf("dataset %d name %q, want %q", k, ds.Name, wantNames[k])
+		}
+		if len(ds.Years) != 3 {
+			t.Errorf("%s: years = %d, want 3", ds.Name, len(ds.Years))
+		}
+		for _, g := range ds.Years {
+			if g.Directed() != wantDirected[k] {
+				t.Errorf("%s directedness wrong", ds.Name)
+			}
+			if g.NumNodes() != 60 {
+				t.Errorf("%s nodes = %d", ds.Name, g.NumNodes())
+			}
+			if g.NumEdges() == 0 {
+				t.Errorf("%s has no edges", ds.Name)
+			}
+		}
+	}
+}
+
+func TestPureSinksMakeDSInfeasible(t *testing.T) {
+	w := New(smallConfig())
+	for _, name := range []string{"Business", "Flight", "Ownership"} {
+		ds, err := w.DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := ds.Latest()
+		found := false
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.InStrength(v) > 0 && g.OutStrength(v) == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no pure sink — DS would be feasible, paper says n/a", name)
+		}
+	}
+}
+
+func TestBroadWeightDistribution(t *testing.T) {
+	w := New(smallConfig())
+	g := w.Trade().Latest()
+	weights := make([]float64, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		weights = append(weights, e.Weight)
+	}
+	lo, hi := stats.MinMax(weights)
+	if hi/lo < 1e4 {
+		t.Errorf("Trade weights span %.1f orders of magnitude, want >= 4", math.Log10(hi/lo))
+	}
+	// Ownership: median small, top 1% much larger (paper: 1.5 vs 50k).
+	g = w.Ownership().Latest()
+	weights = weights[:0]
+	for _, e := range g.Edges() {
+		weights = append(weights, e.Weight)
+	}
+	med := stats.Median(weights)
+	p99 := stats.Quantile(weights, 0.99)
+	if p99/med < 50 {
+		t.Errorf("Ownership: p99/median = %v, want heavy tail", p99/med)
+	}
+}
+
+func TestLocalWeightCorrelation(t *testing.T) {
+	// Fig 6 property: edge weight correlates with the average weight of
+	// neighboring edges (log-log Pearson .42-.75 in the paper).
+	w := New(smallConfig())
+	for _, ds := range []*Dataset{w.Flight(), w.CountrySpace()} {
+		g := ds.Latest()
+		var own, neigh []float64
+		for _, e := range g.Edges() {
+			var sum float64
+			var cnt int
+			for _, a := range g.Out(int(e.Src)) {
+				sum += a.Weight
+				cnt++
+			}
+			for _, a := range g.In(int(e.Dst)) {
+				sum += a.Weight
+				cnt++
+			}
+			sum -= 2 * e.Weight // exclude the edge itself (counted twice)
+			cnt -= 2
+			if cnt > 0 {
+				own = append(own, e.Weight)
+				neigh = append(neigh, sum/float64(cnt))
+			}
+		}
+		r := stats.LogLogPearson(own, neigh)
+		if r < 0.2 {
+			t.Errorf("%s: local weight correlation = %v, want strong positive", ds.Name, r)
+		}
+	}
+}
+
+func TestRCABinarization(t *testing.T) {
+	// 2x2: country 0 specialized in product 0, country 1 in product 1.
+	x := [][]float64{{8, 2}, {2, 8}}
+	rca := RCA(x)
+	if !rca[0][0] || rca[0][1] || rca[1][0] || !rca[1][1] {
+		t.Errorf("RCA = %v", rca)
+	}
+	// Degenerate inputs survive.
+	if RCA(nil) != nil {
+		t.Error("nil input should give nil")
+	}
+	zero := RCA([][]float64{{0, 0}, {0, 0}})
+	if zero[0][0] || zero[1][1] {
+		t.Error("all-zero matrix should have no RCA")
+	}
+}
+
+func TestECIRanksCapability(t *testing.T) {
+	w := New(smallConfig())
+	eci := w.MeasuredECI()
+	if len(eci) != 60 {
+		t.Fatalf("eci length %d", len(eci))
+	}
+	caps := make([]float64, len(eci))
+	for i, c := range w.Countries {
+		caps[i] = c.Capability
+	}
+	r := stats.Spearman(caps, eci)
+	if r < 0.6 {
+		t.Errorf("ECI vs latent capability Spearman = %v, want strong", r)
+	}
+	// Z-scored: mean ~0, sd ~1.
+	if m := stats.Mean(eci); math.Abs(m) > 1e-9 {
+		t.Errorf("ECI mean = %v", m)
+	}
+}
+
+func TestPredictorsDesign(t *testing.T) {
+	w := New(smallConfig())
+	p := w.Predictors()
+	for _, name := range []string{"Business", "Country Space", "Flight", "Migration", "Ownership", "Trade"} {
+		ds, err := w.DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges := ds.Latest().Edges()
+		y, xs, err := p.Design(name, edges)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(y) != len(edges) {
+			t.Fatalf("%s: y rows %d", name, len(y))
+		}
+		cols := p.Columns(name)
+		if len(xs) != len(cols) {
+			t.Errorf("%s: %d predictor columns, %d names", name, len(xs), len(cols))
+		}
+		for _, col := range xs {
+			if len(col) != len(edges) {
+				t.Errorf("%s: ragged design", name)
+			}
+		}
+	}
+	if _, err := p.Row("Nonsense", 0, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, _, err := p.Design("Trade", nil); err == nil {
+		t.Error("empty edges accepted")
+	}
+	if p.Columns("Nonsense") != nil {
+		t.Error("unknown dataset columns should be nil")
+	}
+}
+
+func TestGravityPredictsFlows(t *testing.T) {
+	// Sanity: the Flight network must be predictable from its own
+	// gravity covariates — this is what Table II's R² ratios rest on.
+	w := New(smallConfig())
+	p := w.Predictors()
+	g := w.Flight().Latest()
+	y, xs, err := p.Design("Flight", g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stats.OLS(y, xs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.15 {
+		t.Errorf("gravity R² = %v, want meaningful fit", res.R2)
+	}
+	// Distance coefficient must be negative, population positive.
+	if res.Coef[1] >= 0 {
+		t.Errorf("distance coefficient = %v, want negative", res.Coef[1])
+	}
+	if res.Coef[2] <= 0 || res.Coef[3] <= 0 {
+		t.Errorf("population coefficients = %v, %v, want positive", res.Coef[2], res.Coef[3])
+	}
+}
+
+func TestDatasetByNameAliases(t *testing.T) {
+	w := New(smallConfig())
+	for _, alias := range []string{"cs", "countryspace", "Country Space"} {
+		ds, err := w.DatasetByName(alias)
+		if err != nil || ds.Name != "Country Space" {
+			t.Errorf("alias %q: %v, %v", alias, ds, err)
+		}
+	}
+	if _, err := w.DatasetByName("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestDefaultConfigFill(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.Countries != 180 || c.Products != 600 || c.Years != 4 {
+		t.Errorf("fill defaults: %+v", c)
+	}
+	d := DefaultConfig()
+	if d.Countries != 180 || d.Seed == 0 {
+		t.Errorf("DefaultConfig: %+v", d)
+	}
+}
