@@ -11,17 +11,29 @@
 //
 // The package also ships every baseline the paper compares against
 // (Disparity Filter, High Salience Skeleton, Doubly Stochastic,
-// Maximum Spanning Tree, naive thresholding) behind one Scores API:
+// Maximum Spanning Tree, naive thresholding, k-core) behind a single
+// method registry and an options-driven pipeline:
 //
-//	g, err := repro.ReadCSV(f, true)            // src,dst,weight lines
-//	scores, err := repro.NCScores(g)            // per-edge significance
-//	backbone := scores.Threshold(1.64)          // δ = 1.64 ≈ p 0.05
-//	// or: backbone, err := repro.NCBackbone(g, 1.64)
-//	err = backbone.WriteCSV(out)
+//	g, err := repro.ReadCSV(f, true)                 // src,dst,weight lines
+//	res, err := repro.Backbone(g, repro.WithMethod("nc"), repro.WithDelta(1.64))
+//	err = res.Backbone.WriteCSV(out)                 // δ = 1.64 ≈ p 0.05
 //
-// All methods return a Scores table whose Threshold, TopK and
+// Every algorithm self-registers a Method descriptor (name, parameter
+// schema, scoring/extraction capabilities) in a central registry, so
+// callers swap algorithms by name:
+//
+//	res, err := repro.Backbone(g, repro.WithMethod("df"), repro.WithAlpha(0.01))
+//	s, err := repro.Score(g, repro.WithMethod("hss"))  // unpruned table
+//	all, err := repro.BackboneAll(g, nil, repro.WithTopK(500))
+//
+// All scoring methods produce a Scores table whose Threshold, TopK and
 // TopFraction prune to a backbone while preserving the node set, so
-// methods can be compared at identical backbone sizes.
+// methods can be compared at identical backbone sizes (the paper's
+// protocol); BackboneAll runs that comparison concurrently. Methods()
+// lists the registered algorithms and their parameters.
+//
+// The per-method helpers below (NCScores, DisparityBackbone, ...)
+// predate the registry and remain as thin wrappers.
 package repro
 
 import (
@@ -68,10 +80,14 @@ func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
 // posterior standard deviation, so Threshold(δ) applies the paper's
 // pruning rule. Aux columns "nc_score", "sdev", "expected" and
 // "variance" expose the underlying statistics.
+//
+// Deprecated: use Score with WithMethod("nc").
 func NCScores(g *Graph) (*Scores, error) { return core.New().Scores(g) }
 
 // NCBackbone extracts the Noise-Corrected backbone at significance δ.
 // Common values: 1.28, 1.64, 2.32 (≈ one-tailed p of 0.10, 0.05, 0.01).
+//
+// Deprecated: use Backbone with WithMethod("nc") and WithDelta.
 func NCBackbone(g *Graph, delta float64) (*Graph, error) {
 	return core.New().Backbone(g, delta)
 }
@@ -86,14 +102,20 @@ func NCEdge(weight, outStrength, inStrength, total float64) EdgeStats {
 // NCBinomialScores computes the footnote-2 variant of the NC backbone:
 // direct upper-tail Binomial p-values against the bilateral null, with
 // Score = -log10(p). Aux column "pvalue" holds raw p-values.
+//
+// Deprecated: use Score with WithMethod("nc-binomial").
 func NCBinomialScores(g *Graph) (*Scores, error) { return core.NewBinomial().Scores(g) }
 
 // DisparityScores computes Disparity Filter significances (Serrano et
 // al. 2009): Score = 1 - α, Aux "alpha" holds the raw p-values.
+//
+// Deprecated: use Score with WithMethod("df").
 func DisparityScores(g *Graph) (*Scores, error) { return backbone.NewDisparity().Scores(g) }
 
 // DisparityBackbone keeps edges significant at level alpha under the
 // Disparity Filter null model.
+//
+// Deprecated: use Backbone with WithMethod("df") and WithAlpha.
 func DisparityBackbone(g *Graph, alpha float64) (*Graph, error) {
 	return backbone.NewDisparity().Backbone(g, alpha)
 }
@@ -101,10 +123,14 @@ func DisparityBackbone(g *Graph, alpha float64) (*Graph, error) {
 // HSSScores computes High Salience Skeleton saliences (Grady et al.
 // 2012) on the undirected view of g: the share of shortest-path trees
 // containing each edge.
+//
+// Deprecated: use Score with WithMethod("hss").
 func HSSScores(g *Graph) (*Scores, error) { return backbone.NewHSS().Scores(g) }
 
 // HSSBackbone keeps edges with salience above the threshold
 // (0.5 is customary given the bimodal salience distribution).
+//
+// Deprecated: use Backbone with WithMethod("hss") and WithSalience.
 func HSSBackbone(g *Graph, salience float64) (*Graph, error) {
 	return backbone.NewHSS().Backbone(g, salience)
 }
@@ -112,6 +138,8 @@ func HSSBackbone(g *Graph, salience float64) (*Graph, error) {
 // DoublyStochasticScores returns Sinkhorn-normalized edge weights
 // (Slater 2009). It errors when the transformation is impossible —
 // e.g. when a node only sends or only receives weight.
+//
+// Deprecated: use Score with WithMethod("ds").
 func DoublyStochasticScores(g *Graph) (*Scores, error) {
 	return backbone.NewDoublyStochastic().Scores(g)
 }
@@ -119,21 +147,29 @@ func DoublyStochasticScores(g *Graph) (*Scores, error) {
 // DoublyStochasticBackbone runs Slater's full two-stage algorithm:
 // normalized edges are added strongest-first until the backbone is a
 // single connected component.
+//
+// Deprecated: use Backbone with WithMethod("ds").
 func DoublyStochasticBackbone(g *Graph) (*Graph, error) {
 	return backbone.NewDoublyStochastic().Extract(g)
 }
 
 // MaximumSpanningTree extracts the maximum spanning forest (Kruskal).
 // Directed graphs are symmetrized by summing reciprocal weights.
+//
+// Deprecated: use Backbone with WithMethod("mst").
 func MaximumSpanningTree(g *Graph) (*Graph, error) {
 	return backbone.NewMST().Extract(g)
 }
 
 // NaiveScores scores edges by raw weight, so thresholding reproduces
 // the classic "drop light edges" filter.
+//
+// Deprecated: use Score with WithMethod("nt").
 func NaiveScores(g *Graph) (*Scores, error) { return backbone.NewNaive().Scores(g) }
 
 // NaiveBackbone keeps edges with weight strictly above the threshold.
+//
+// Deprecated: use Backbone with WithMethod("nt") and WithWeightThreshold.
 func NaiveBackbone(g *Graph, threshold float64) (*Graph, error) {
 	return backbone.NewNaive().Backbone(g, threshold)
 }
@@ -148,16 +184,22 @@ func PValueToDelta(p float64) float64 { return core.PValueToDelta(p) }
 // KCoreScores assigns each edge the core number of its weaker endpoint
 // (Seidman 1983), the classic degree-based backbone: Threshold(k-1)
 // yields the k-core.
+//
+// Deprecated: use Score with WithMethod("kcore").
 func KCoreScores(g *Graph) (*Scores, error) { return backbone.NewKCore().Scores(g) }
 
 // KCoreBackbone keeps the edges of the k-core: both endpoints survive
 // recursive removal of nodes with degree below k.
+//
+// Deprecated: use Backbone with WithMethod("kcore") and WithK.
 func KCoreBackbone(g *Graph, k int) (*Graph, error) {
 	return backbone.NewKCore().Backbone(g, k)
 }
 
 // NCScoresParallel is NCScores computed on all CPUs; results are
 // bit-identical to the serial scorer.
+//
+// Deprecated: use Score with WithMethod("nc") and WithParallel.
 func NCScoresParallel(g *Graph) (*Scores, error) { return core.NewParallel().Scores(g) }
 
 // Comparison is a two-sample z-test between two edges' NC scores.

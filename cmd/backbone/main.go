@@ -6,10 +6,17 @@
 //	backbone -method df -alpha 0.05 edges.csv
 //	backbone -method hss -salience 0.5 edges.csv
 //	backbone -method nt -threshold 10 edges.csv
-//	backbone -method kcore -threshold 3 edges.csv
+//	backbone -method kcore -k 3 edges.csv
 //	backbone -method mst edges.csv
 //	backbone -method ds edges.csv
 //	backbone -method nc -top 500 edges.csv        # fixed-size backbone
+//	backbone -list                                # show registered methods
+//
+// The method list, per-method flags and validation are generated from
+// the method registry: adding an algorithm anywhere in the module is a
+// single Register call and it appears here with its parameters. Flags
+// that the selected method does not declare are rejected rather than
+// silently ignored.
 //
 // The input is "src,dst,weight" lines (comma, tab or space separated;
 // '#' comments and a header row are skipped). The backbone is written
@@ -17,43 +24,212 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
-	"repro/internal/backbone"
-	"repro/internal/core"
-	"repro/internal/filter"
-	"repro/internal/graph"
+	"repro"
 )
 
+// errFlagParse marks parse failures the FlagSet has already reported
+// to stderr, so main must not print them a second time.
+var errFlagParse = errors.New("invalid flags")
+
 func main() {
-	var (
-		method    = flag.String("method", "nc", "backbone method: nc, nc-binomial, df, hss, ds, mst, nt, kcore")
-		directed  = flag.Bool("directed", false, "treat the edge list as directed")
-		delta     = flag.Float64("delta", 1.64, "nc: significance threshold in standard deviations")
-		alpha     = flag.Float64("alpha", 0.05, "df / nc-binomial: significance level")
-		salience  = flag.Float64("salience", 0.5, "hss: minimum salience")
-		threshold = flag.Float64("threshold", 0, "nt: minimum edge weight")
-		top       = flag.Int("top", 0, "keep exactly this many top-ranked edges (overrides per-method thresholds)")
-		out       = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: backbone [flags] edges.csv (use - for stdin)")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := run(flag.Arg(0), *method, *directed, *delta, *alpha, *salience, *threshold, *top, *out); err != nil {
+	a := newApp()
+	err := a.run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h / -help: usage already printed, clean exit.
+	case errors.Is(err, errFlagParse):
+		os.Exit(2) // the FlagSet already printed the error and usage
+	default:
 		fmt.Fprintln(os.Stderr, "backbone:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, method string, directed bool, delta, alpha, salience, threshold float64, top int, out string) error {
-	var in io.Reader = os.Stdin
-	if path != "-" {
+// app holds the registry-generated flag set. Shared flags are fixed;
+// one flag per distinct parameter name is generated from the method
+// schemas, and after parsing each explicitly set parameter flag is
+// checked against the selected method's schema.
+type app struct {
+	fs       *flag.FlagSet
+	method   *string
+	directed *bool
+	top      *int
+	frac     *float64
+	parallel *bool
+	out      *string
+	list     *bool
+	// paramFlags maps parameter name -> parsed value holder; integer
+	// parameters get their own holder so -k renders and parses as int.
+	floatFlags map[string]*float64
+	intFlags   map[string]*int
+}
+
+func newApp() *app {
+	a := &app{
+		fs:         flag.NewFlagSet("backbone", flag.ContinueOnError),
+		floatFlags: map[string]*float64{},
+		intFlags:   map[string]*int{},
+	}
+	a.method = a.fs.String("method", "nc", "backbone method: "+strings.Join(methodNames(), ", "))
+	a.directed = a.fs.Bool("directed", false, "treat the edge list as directed")
+	a.top = a.fs.Int("top", 0, "keep exactly this many top-ranked edges (overrides per-method thresholds)")
+	a.frac = a.fs.Float64("frac", 0, "keep this share (0..1] of top-ranked edges")
+	a.parallel = a.fs.Bool("parallel", false, "use the method's multi-core scorer when available")
+	a.out = a.fs.String("o", "", "output file (default stdout)")
+	a.list = a.fs.Bool("list", false, "list registered methods and their parameters, then exit")
+
+	// Generate one flag per distinct parameter name across all
+	// registered methods, annotating which method uses it for what.
+	usage := map[string][]string{}
+	schema := map[string]repro.Param{}
+	var order []string
+	for _, m := range repro.Methods() {
+		for _, p := range m.Params {
+			if _, ok := schema[p.Name]; !ok {
+				schema[p.Name] = p
+				order = append(order, p.Name)
+			}
+			usage[p.Name] = append(usage[p.Name], fmt.Sprintf("%s: %s", m.Name, p.Desc))
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		p := schema[name]
+		desc := strings.Join(usage[name], "; ")
+		if p.Integer {
+			a.intFlags[name] = a.fs.Int(name, int(p.Default), desc)
+		} else {
+			a.floatFlags[name] = a.fs.Float64(name, p.Default, desc)
+		}
+	}
+
+	a.fs.Usage = func() {
+		w := a.fs.Output()
+		fmt.Fprintln(w, "usage: backbone [flags] edges.csv (use - for stdin)")
+		fmt.Fprintln(w, "\nflags:")
+		a.fs.PrintDefaults()
+		fmt.Fprintln(w, "\nmethods:")
+		fmt.Fprint(w, methodList())
+	}
+	return a
+}
+
+// methodNames returns the registered method names in registry order.
+func methodNames() []string {
+	var names []string
+	for _, m := range repro.Methods() {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// methodList renders the registry as the CLI usage text.
+func methodList() string {
+	var b strings.Builder
+	for _, m := range repro.Methods() {
+		fmt.Fprintf(&b, "  %-12s %s — %s\n", m.Name, m.Title, m.Desc)
+		for _, p := range m.Params {
+			if p.Integer {
+				fmt.Fprintf(&b, "               -%s (default %d): %s\n", p.Name, int(p.Default), p.Desc)
+			} else {
+				fmt.Fprintf(&b, "               -%s (default %g): %s\n", p.Name, p.Default, p.Desc)
+			}
+		}
+	}
+	return b.String()
+}
+
+// options translates the parsed flags into pipeline options for the
+// selected method, rejecting explicitly set flags the method's schema
+// does not declare.
+func (a *app) options() ([]repro.Option, error) {
+	m, err := repro.LookupMethod(*a.method)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	a.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	opts := []repro.Option{repro.WithMethod(m.Name)}
+	for name := range set {
+		_, isFloat := a.floatFlags[name]
+		_, isInt := a.intFlags[name]
+		if !isFloat && !isInt {
+			continue // shared flag, not a method parameter
+		}
+		if _, ok := m.Param(name); !ok {
+			return nil, fmt.Errorf("method %q does not take -%s (its parameters: %s)", m.Name, name, paramNames(m))
+		}
+		if isInt {
+			opts = append(opts, repro.WithParam(name, float64(*a.intFlags[name])))
+		} else {
+			opts = append(opts, repro.WithParam(name, *a.floatFlags[name]))
+		}
+	}
+	if set["top"] && set["frac"] {
+		return nil, fmt.Errorf("-top and -frac are mutually exclusive")
+	}
+	// Fixed-size methods reject these inside the pipeline; no need to
+	// duplicate that rule here.
+	if set["top"] {
+		if *a.top <= 0 {
+			return nil, fmt.Errorf("-top %d: must be positive", *a.top)
+		}
+		opts = append(opts, repro.WithTopK(*a.top))
+	}
+	if set["frac"] {
+		opts = append(opts, repro.WithTopFraction(*a.frac))
+	}
+	if *a.parallel {
+		opts = append(opts, repro.WithParallel())
+	}
+	return opts, nil
+}
+
+func paramNames(m *repro.Method) string {
+	if len(m.Params) == 0 {
+		return "none"
+	}
+	var names []string
+	for _, p := range m.Params {
+		names = append(names, "-"+p.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	a.fs.SetOutput(stderr)
+	if err := a.fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if *a.list {
+		fmt.Fprint(stdout, methodList())
+		return nil
+	}
+	if a.fs.NArg() != 1 {
+		a.fs.Usage()
+		return fmt.Errorf("expected exactly one input file (use - for stdin)")
+	}
+	opts, err := a.options()
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if path := a.fs.Arg(0); path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -61,84 +237,30 @@ func run(path, method string, directed bool, delta, alpha, salience, threshold f
 		defer f.Close()
 		in = f
 	}
-	g, err := graph.ReadCSV(in, directed)
+	g, err := repro.ReadCSV(in, *a.directed)
 	if err != nil {
 		return err
 	}
 
-	bb, err := extract(g, method, delta, alpha, salience, threshold, top)
+	res, err := repro.Backbone(g, opts...)
 	if err != nil {
 		return err
 	}
 
-	w := io.Writer(os.Stdout)
-	if out != "" {
-		f, err := os.Create(out)
+	w := stdout
+	if *a.out != "" {
+		f, err := os.Create(*a.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := bb.WriteCSV(w); err != nil {
+	if err := res.Backbone.WriteCSV(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "input: %d nodes, %d edges; backbone: %d edges, %d non-isolated nodes (coverage %.1f%%)\n",
-		g.NumNodes(), g.NumEdges(), bb.NumEdges(), bb.NumConnected(),
-		100*float64(bb.NumConnected())/float64(max(1, g.NumConnected())))
+	fmt.Fprintf(stderr, "input: %d nodes, %d edges; %s backbone: %d edges, %d non-isolated nodes (node coverage %.1f%%) in %v\n",
+		g.NumNodes(), g.NumEdges(), res.Method, res.Backbone.NumEdges(), res.Backbone.NumConnected(),
+		100*res.NodeCoverage, res.Duration.Round(time.Microsecond))
 	return nil
-}
-
-func extract(g *graph.Graph, method string, delta, alpha, salience, threshold float64, top int) (*graph.Graph, error) {
-	var scorer filter.Scorer
-	var cut float64
-	switch method {
-	case "nc":
-		scorer, cut = core.New(), delta
-	case "nc-binomial":
-		s := core.NewBinomial()
-		if top > 0 {
-			scorer = s
-		} else {
-			return s.Backbone(g, alpha)
-		}
-	case "df":
-		scorer, cut = backbone.NewDisparity(), 1-alpha
-	case "hss":
-		scorer, cut = backbone.NewHSS(), salience
-	case "nt":
-		scorer, cut = backbone.NewNaive(), threshold
-	case "ds":
-		if top > 0 {
-			scorer = backbone.NewDoublyStochastic()
-		} else {
-			return backbone.NewDoublyStochastic().Extract(g)
-		}
-	case "kcore":
-		kc := backbone.NewKCore()
-		if top > 0 {
-			scorer = kc
-		} else {
-			return kc.Backbone(g, int(threshold))
-		}
-	case "mst":
-		return backbone.NewMST().Extract(g)
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
-	}
-	s, err := scorer.Scores(g)
-	if err != nil {
-		return nil, err
-	}
-	if top > 0 {
-		return s.TopK(top), nil
-	}
-	return s.Threshold(cut), nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,50 +1,203 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/graph"
 )
 
-func testGraph(t *testing.T) *graph.Graph {
+const testCSV = "a,b,10\na,c,9\nb,c,1\nc,d,8\nd,e,7\nc,e,2\nd,a,6\ne,b,5\n"
+
+func writeTestCSV(t *testing.T) string {
 	t.Helper()
-	csv := "a,b,10\na,c,9\nb,c,1\nc,d,8\nd,e,7\nc,e,2\nd,a,6\ne,b,5\n"
-	g, err := graph.ReadCSV(strings.NewReader(csv), false)
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(testCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIAllMethods drives the CLI over every registered method with
+// default parameters — the acceptance criterion that `backbone -method
+// <name>` works for each registry entry with no per-method dispatch.
+func TestCLIAllMethods(t *testing.T) {
+	in := writeTestCSV(t)
+	for _, m := range repro.Methods() {
+		t.Run(m.Name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			a := newApp()
+			if err := a.run([]string{"-method", m.Name, in}, nil, &stdout, &stderr); err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			// An empty backbone is legitimate at default parameters on a
+			// tiny graph (df needs more edges per node to reach α = 0.05),
+			// but the output must always parse back as an edge list.
+			if stdout.Len() > 0 {
+				if _, err := graph.ReadCSV(strings.NewReader(stdout.String()), false); err != nil {
+					t.Fatalf("%s: output not parseable as CSV: %v", m.Name, err)
+				}
+			}
+			if !strings.Contains(stderr.String(), m.Name+" backbone") {
+				t.Errorf("%s: summary missing from stderr: %q", m.Name, stderr.String())
+			}
+		})
+	}
+}
+
+// TestCLIMethodFlags exercises each method's own parameter flags, again
+// purely from the schema.
+func TestCLIMethodFlags(t *testing.T) {
+	in := writeTestCSV(t)
+	for _, m := range repro.Methods() {
+		for _, p := range m.Params {
+			args := []string{"-method", m.Name}
+			val := p.Default
+			if p.Integer {
+				args = append(args, "-"+p.Name, strconv.Itoa(int(val)))
+			} else {
+				args = append(args, "-"+p.Name, fmt.Sprintf("%g", val))
+			}
+			args = append(args, in)
+			var stdout, stderr bytes.Buffer
+			if err := newApp().run(args, nil, &stdout, &stderr); err != nil {
+				t.Errorf("%s with -%s: %v", m.Name, p.Name, err)
+			}
+		}
+	}
+}
+
+// TestCLIDefaultsRoundTrip checks that every schema default survives
+// the flag generation: the generated flag's default value renders back
+// to the parameter's declared default.
+func TestCLIDefaultsRoundTrip(t *testing.T) {
+	a := newApp()
+	for _, m := range repro.Methods() {
+		for _, p := range m.Params {
+			f := a.fs.Lookup(p.Name)
+			if f == nil {
+				t.Errorf("%s: no generated flag -%s", m.Name, p.Name)
+				continue
+			}
+			got, err := strconv.ParseFloat(f.DefValue, 64)
+			if err != nil {
+				t.Errorf("-%s default %q not numeric: %v", p.Name, f.DefValue, err)
+				continue
+			}
+			if got != p.Default {
+				t.Errorf("-%s flag default %v, schema default %v (method %s)", p.Name, got, p.Default, m.Name)
+			}
+		}
+	}
+}
+
+// TestCLIKCoreK checks the kcore regression: k is its own integer flag,
+// no longer smuggled through the float -threshold.
+func TestCLIKCoreK(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-method", "kcore", "-k", "3", in}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.ReadCSV(strings.NewReader(stdout.String()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.Backbone(mustGraph(t), repro.WithMethod("kcore"), repro.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != want.Backbone.NumEdges() {
+		t.Errorf("-k 3 kept %d edges, library says %d", got.NumEdges(), want.Backbone.NumEdges())
+	}
+	// -threshold belongs to nt, not kcore: explicit error, not silent reuse.
+	if err := newApp().run([]string{"-method", "kcore", "-threshold", "3", in}, nil, &stdout, &stderr); err == nil {
+		t.Error("kcore accepted -threshold")
+	}
+}
+
+func mustGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.ReadCSV(strings.NewReader(testCSV), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return g
 }
 
-func TestExtractAllMethods(t *testing.T) {
-	g := testGraph(t)
-	for _, method := range []string{"nc", "nc-binomial", "df", "hss", "ds", "mst", "nt"} {
-		bb, err := extract(g, method, 0.5, 0.5, 0.3, 4, 0)
-		if err != nil {
-			t.Errorf("%s: %v", method, err)
-			continue
-		}
-		if bb.NumNodes() != g.NumNodes() {
-			t.Errorf("%s: node set changed", method)
-		}
+// TestCLIInvalidCombos: flags a method does not declare, and size
+// options on fixed-size methods, are explicit errors.
+func TestCLIInvalidCombos(t *testing.T) {
+	in := writeTestCSV(t)
+	cases := [][]string{
+		{"-method", "mst", "-top", "3", in},                // extract-only: no ranking
+		{"-method", "mst", "-delta", "2", in},              // mst has no parameters
+		{"-method", "df", "-delta", "2", in},               // delta is nc's, not df's
+		{"-method", "nc", "-alpha", "0.1", in},             // alpha is df's, not nc's
+		{"-method", "bogus", in},                           // unknown method
+		{"-method", "nc", "-top", "2", "-frac", "0.5", in}, // mutually exclusive
+		{"-method", "nc", "-frac", "1.5", in},              // fraction out of range
+		{"-method", "nc", "-top", "0", in},                 // explicit zero is a script bug
+		{"-method", "nc", "-top", "-3", in},                // negative size
 	}
-	if _, err := extract(g, "bogus", 0, 0, 0, 0, 0); err == nil {
-		t.Error("unknown method accepted")
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := newApp().run(args, nil, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted, want error", args[:len(args)-1])
+		}
 	}
 }
 
-func TestExtractTopOverride(t *testing.T) {
-	g := testGraph(t)
-	for _, method := range []string{"nc", "nc-binomial", "df", "hss", "ds", "nt"} {
-		bb, err := extract(g, method, 0, 0, 0, 0, 3)
-		if err != nil {
-			t.Fatalf("%s: %v", method, err)
+// TestCLITopOverride: -top yields exact backbone sizes for every
+// scoring method.
+func TestCLITopOverride(t *testing.T) {
+	in := writeTestCSV(t)
+	for _, m := range repro.Methods() {
+		if !m.CanScore() {
+			continue
 		}
-		if bb.NumEdges() != 3 {
-			t.Errorf("%s: -top 3 kept %d edges", method, bb.NumEdges())
+		var stdout, stderr bytes.Buffer
+		if err := newApp().run([]string{"-method", m.Name, "-top", "3", in}, nil, &stdout, &stderr); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		g, err := graph.ReadCSV(strings.NewReader(stdout.String()), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != 3 {
+			t.Errorf("%s: -top 3 kept %d edges", m.Name, g.NumEdges())
+		}
+	}
+}
+
+// TestCLIHelp: -h prints usage and is not an error (main exits 0).
+func TestCLIHelp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := newApp().run([]string{"-h"}, nil, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "methods:") {
+		t.Errorf("usage text missing method list: %q", stderr.String())
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-list"}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range repro.Methods() {
+		if !strings.Contains(stdout.String(), m.Name) {
+			t.Errorf("-list output missing method %q", m.Name)
 		}
 	}
 }
@@ -56,7 +209,8 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte("a,b,10\nb,c,9\nc,a,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "nt", false, 0, 0, 0, 5, 0, out); err != nil {
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-method", "nt", "-threshold", "5", "-o", out, in}, nil, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -70,7 +224,10 @@ func TestRunEndToEnd(t *testing.T) {
 	if g.NumEdges() != 2 {
 		t.Errorf("threshold 5 kept %d edges, want 2", g.NumEdges())
 	}
-	if err := run(filepath.Join(dir, "missing.csv"), "nt", false, 0, 0, 0, 0, 0, ""); err == nil {
+	if err := newApp().run([]string{filepath.Join(dir, "missing.csv")}, nil, &stdout, &stderr); err == nil {
 		t.Error("missing input accepted")
+	}
+	if err := newApp().run([]string{"-method", "nc", "-parallel", "-"}, strings.NewReader(testCSV), &stdout, &stderr); err != nil {
+		t.Errorf("stdin + parallel: %v", err)
 	}
 }

@@ -7,7 +7,9 @@
 //	experiments [flags] <artifact>...
 //
 // where artifact is one or more of: fig1 fig2 fig3 fig4 fig5 fig6 fig7
-// fig8 fig9 table1 table2 casestudy ablation all. The country-network
+// fig8 fig9 table1 table2 casestudy ablation methods all. The
+// "methods" artifact prints the central registry's method table (the
+// algorithms and defaults every comparison uses). The country-network
 // experiments share one synthetic world, controlled by -seed,
 // -countries and -years.
 package main
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro"
 	"repro/internal/exp"
 	"repro/internal/occupations"
 	"repro/internal/world"
@@ -32,7 +35,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|...|fig9|table1|table2|casestudy|ablation|noise|changes|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|...|fig9|table1|table2|casestudy|ablation|noise|changes|methods|all")
 		os.Exit(2)
 	}
 	cfg := world.Config{Seed: *seed, Countries: *countries, Years: *years, Products: 400}
@@ -193,6 +196,13 @@ func main() {
 			return err
 		}
 		fmt.Println(r.Table().Render())
+		return nil
+	})
+	run("methods", func() error {
+		// The comparison methods come from the central registry; this
+		// artifact documents exactly which algorithms and defaults the
+		// tables above were produced with.
+		fmt.Print(repro.MethodsTable())
 		return nil
 	})
 }

@@ -97,6 +97,19 @@ func main() {
 	}
 	fmt.Printf("\nnaive 'weight changed by >50%%' rule would flag %d pairs —\n", bigSwings)
 	fmt.Println("nearly all of them measurement noise on thin edges.")
+
+	// The backbones themselves barely move between observations: the
+	// structure is stable, only the planted pair's significance shifts.
+	rb, err := repro.Backbone(before, repro.WithDelta(2.32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ra, err := repro.Backbone(after, repro.WithDelta(2.32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNC backbones at delta=2.32: %d edges before, %d after\n",
+		rb.Backbone.NumEdges(), ra.Backbone.NumEdges())
 }
 
 // poisson draws a Poisson variate (Knuth for small rates, normal

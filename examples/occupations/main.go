@@ -30,16 +30,17 @@ func main() {
 		d.NumOccupations(), g.NumEdges(), 100*density)
 	fmt.Println("generic skills make the raw network a hairball — almost everything connects.")
 
-	ncScores, err := repro.NCScores(g)
+	resNC, err := repro.Backbone(g, repro.WithMethod("nc"), repro.WithDelta(2.32))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bbNC := ncScores.Threshold(2.32)
-	dfScores, err := repro.DisparityScores(g)
+	bbNC := resNC.Backbone
+	// Equal-size comparison: prune DF to exactly the NC backbone's size.
+	resDF, err := repro.Backbone(g, repro.WithMethod("df"), repro.WithTopK(bbNC.NumEdges()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bbDF := dfScores.TopK(bbNC.NumEdges()) // equal-size comparison
+	bbDF := resDF.Backbone
 
 	fmt.Printf("\nbackbones: NC %d edges / %d nodes kept, DF %d edges / %d nodes kept\n",
 		bbNC.NumEdges(), bbNC.NumConnected(), bbDF.NumEdges(), bbDF.NumConnected())

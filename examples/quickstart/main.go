@@ -9,6 +9,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro"
 )
@@ -42,23 +43,24 @@ func main() {
 	g := b.Build()
 	fmt.Printf("full network: %v\n", g)
 
-	// Score every edge under the Noise-Corrected null model.
-	scores, err := repro.NCScores(g)
+	// Run the pipeline: score every edge under the Noise-Corrected null
+	// model and prune at delta = 1.64 (~ one-tailed p = 0.05). The
+	// Result bundles the backbone, the score table and run metadata.
+	res, err := repro.Backbone(g,
+		repro.WithMethod("nc"), repro.WithDelta(1.64))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Prune at delta = 1.64 (~ one-tailed p = 0.05).
-	bb := scores.Threshold(1.64)
-	fmt.Printf("NC backbone (delta=1.64, p~%.3f): %d of %d edges kept\n",
-		repro.DeltaToPValue(1.64), bb.NumEdges(), g.NumEdges())
-	if err := bb.WriteCSV(os.Stdout); err != nil {
+	fmt.Printf("NC backbone (delta=1.64, p~%.3f): %d of %d edges kept in %v\n",
+		repro.DeltaToPValue(1.64), res.Backbone.NumEdges(), g.NumEdges(),
+		res.Duration.Round(time.Microsecond))
+	if err := res.Backbone.WriteCSV(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
-	// The same table supports fixed-size pruning, for comparing methods
-	// at equal backbone sizes.
-	top5 := scores.TopK(5)
+	// The bundled table supports fixed-size pruning, for comparing
+	// methods at equal backbone sizes.
+	top5 := res.Scores.TopK(5)
 	fmt.Println("\ntop-5 most significant edges:")
 	for _, e := range top5.Edges() {
 		fmt.Printf("  %s - %s  weight %.1f\n", g.Label(int(e.Src)), g.Label(int(e.Dst)), e.Weight)
@@ -70,4 +72,13 @@ func main() {
 		g.OutStrength(ids[0]), g.InStrength(ids[6]), g.TotalWeight())
 	fmt.Printf("\nrome-paris: expected %.1f, lift %.2f, score %.3f ± %.3f (z = %.1f)\n",
 		es.Expected, es.Lift, es.Score, es.Sdev, es.Score/es.Sdev)
+
+	// Any registered method swaps in by name — same pipeline, same
+	// pruning options.
+	df, err := repro.Backbone(g, repro.WithMethod("df"), repro.WithAlpha(0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDisparity Filter at alpha=0.05 keeps %d edges instead\n",
+		df.Backbone.NumEdges())
 }

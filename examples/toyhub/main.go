@@ -37,11 +37,13 @@ func main() {
 	b.MustAddEdge(1, 2, 4) // the weak peripheral 2-3 edge
 	g := b.Build()
 
-	nc, err := repro.NCScores(g)
+	// Both methods come from the same registry-backed pipeline; only the
+	// method name changes.
+	nc, err := repro.Score(g, repro.WithMethod("nc"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	df, err := repro.DisparityScores(g)
+	df, err := repro.Score(g, repro.WithMethod("df"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,15 +3,20 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/backbone"
-	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/graph"
+
+	// The algorithm packages self-register their methods; the blank
+	// imports guarantee registration even though other files in this
+	// package also import them by name.
+	_ "repro/internal/backbone"
+	_ "repro/internal/core"
 )
 
-// Method bundles a backboning algorithm with the capabilities the
-// experiments need: ranked scoring (for fixed-size comparisons) and/or
-// parameter-free extraction.
+// Method is the experiment harness's view of one registry entry: the
+// display name used in the paper's tables plus the capabilities the
+// sweeps need (ranked scoring for fixed-size comparisons, parameter-free
+// extraction, fixed-size marking).
 type Method struct {
 	// Name is the display name used in the paper's tables.
 	Name string
@@ -27,28 +32,45 @@ type Method struct {
 	FixedSize bool
 }
 
-// Methods returns the six algorithms in the paper's comparison, in its
-// presentation order: NC, DF, HSS, DS, MST, NT.
-func Methods() []Method {
-	ds := backbone.NewDoublyStochastic()
-	return []Method{
-		{Name: "Noise-Corrected", Short: "nc", Scorer: core.New()},
-		{Name: "Disparity Filter", Short: "df", Scorer: backbone.NewDisparity()},
-		{Name: "High Salience Skeleton", Short: "hss", Scorer: backbone.NewHSS()},
-		{Name: "Doubly Stochastic", Short: "ds", Scorer: ds, Extractor: ds, FixedSize: true},
-		{Name: "Maximum Spanning Tree", Short: "mst", Extractor: backbone.NewMST(), FixedSize: true},
-		{Name: "Naive Threshold", Short: "nt", Scorer: backbone.NewNaive()},
+// paperOrder lists the six algorithms of the paper's comparison in its
+// presentation order.
+var paperOrder = []string{"nc", "df", "hss", "ds", "mst", "nt"}
+
+func fromRegistry(m *filter.Method) Method {
+	return Method{
+		Name:      m.Title,
+		Short:     m.Name,
+		Scorer:    m.Scorer,
+		Extractor: m.Extractor,
+		FixedSize: m.FixedSize,
 	}
 }
 
-// MethodByShort returns the method with the given short name.
-func MethodByShort(short string) (Method, error) {
-	for _, m := range Methods() {
-		if m.Short == short {
-			return m, nil
+// Methods returns the six algorithms in the paper's comparison, looked
+// up from the central method registry, in the paper's presentation
+// order: NC, DF, HSS, DS, MST, NT.
+func Methods() []Method {
+	ms := make([]Method, 0, len(paperOrder))
+	for _, short := range paperOrder {
+		fm, err := filter.Lookup(short)
+		if err != nil {
+			// The registry is populated by package init; a missing paper
+			// method is a programming error, not a runtime condition.
+			panic(fmt.Sprintf("exp: paper method missing from registry: %v", err))
 		}
+		ms = append(ms, fromRegistry(fm))
 	}
-	return Method{}, fmt.Errorf("exp: unknown method %q (want nc, df, hss, ds, mst or nt)", short)
+	return ms
+}
+
+// MethodByShort returns the registered method with the given short
+// name — any registry entry, not only the paper's six.
+func MethodByShort(short string) (Method, error) {
+	fm, err := filter.Lookup(short)
+	if err != nil {
+		return Method{}, fmt.Errorf("exp: %w", err)
+	}
+	return fromRegistry(fm), nil
 }
 
 // BackboneWithK extracts a backbone of (approximately) k edges. Ranked

@@ -1,0 +1,288 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Params maps parameter names to values. Integer-valued parameters
+// (Param.Integer) are carried as float64 and truncated at use.
+type Params map[string]float64
+
+// Clone returns an independent copy of p.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Param describes one tunable parameter of a backboning method: its
+// flag/option name, default value and meaning. The schema drives CLI
+// flag generation and option validation, so adding a parameter to a
+// registered method automatically surfaces it everywhere.
+type Param struct {
+	// Name is the identifier used in options and CLI flags, e.g. "delta".
+	Name string
+	// Default is the value used when the caller does not set one.
+	Default float64
+	// Integer marks parameters that only take whole values (e.g. kcore's
+	// k); the CLI renders them as integer flags.
+	Integer bool
+	// Desc is a one-line human meaning, e.g. "significance threshold in
+	// standard deviations".
+	Desc string
+}
+
+// Method is the registry entry unifying the Scorer and Extractor views
+// of one backboning algorithm. It carries everything a caller needs to
+// run the method without knowing its concrete type: identity,
+// documentation, the typed parameter schema, and the pruning rule that
+// turns parameters into a canonical Score threshold.
+type Method struct {
+	// Name is the short identifier used for lookup and on the command
+	// line: "nc", "df", "hss", "ds", "mst", "nt", "kcore", "nc-binomial".
+	Name string
+	// Title is the display name used in tables ("Noise-Corrected").
+	Title string
+	// Desc is a one-line description with the originating citation.
+	Desc string
+	// Order fixes the presentation position in Registry.All — the
+	// paper's methods keep its presentation order regardless of package
+	// init sequence.
+	Order int
+	// Params is the typed parameter schema. Empty for parameter-free
+	// methods (mst, ds).
+	Params []Param
+	// Scorer computes the per-edge significance table; nil for
+	// extract-only methods (mst).
+	Scorer Scorer
+	// ParallelScorer, when non-nil, is a drop-in Scorer producing the
+	// same table on all CPUs (the nc method provides one).
+	ParallelScorer Scorer
+	// Extractor directly produces a fixed backbone subgraph; nil for
+	// threshold-only methods.
+	Extractor Extractor
+	// FixedSize marks methods whose backbone size cannot be tuned (mst,
+	// and ds in its connectivity-stopping form), which appear as single
+	// points in the paper's sweep figures.
+	FixedSize bool
+	// Cut maps resolved parameters to the canonical Score threshold
+	// implementing the method's natural pruning rule (nc: δ itself;
+	// df: 1−α; nc-binomial: −log10 α; kcore: k−½). Nil when the default
+	// backbone comes from Extractor instead.
+	Cut func(p Params) float64
+}
+
+// Param returns the schema entry with the given name.
+func (m *Method) Param(name string) (Param, bool) {
+	for _, p := range m.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// Defaults returns the method's parameters at their default values.
+func (m *Method) Defaults() Params {
+	p := make(Params, len(m.Params))
+	for _, d := range m.Params {
+		p[d.Name] = d.Default
+	}
+	return p
+}
+
+// Resolve merges overrides into the method's defaults. Overrides the
+// schema does not declare are an error — passing delta to mst is a
+// caller bug, not something to ignore silently.
+func (m *Method) Resolve(overrides Params) (Params, error) {
+	p := m.Defaults()
+	for name, v := range overrides {
+		if _, ok := m.Param(name); !ok {
+			return nil, fmt.Errorf("filter: method %q does not take parameter %q", m.Name, name)
+		}
+		p[name] = v
+	}
+	return p, nil
+}
+
+// CanScore reports whether the method produces a Scores table, i.e.
+// supports ranked (top-k) pruning.
+func (m *Method) CanScore() bool { return m.Scorer != nil }
+
+// Score computes the method's significance table, preferring the
+// parallel scorer when parallel is set and one is registered.
+func (m *Method) Score(g *graph.Graph, parallel bool) (*Scores, error) {
+	s := m.Scorer
+	if parallel && m.ParallelScorer != nil {
+		s = m.ParallelScorer
+	}
+	if s == nil {
+		return nil, fmt.Errorf("filter: method %q does not produce scores", m.Name)
+	}
+	return s.Scores(g)
+}
+
+// Backbone extracts the method's backbone with the given parameter
+// overrides (nil means all defaults): scoring methods apply their Cut
+// rule, extract-only methods run their Extractor.
+func (m *Method) Backbone(g *graph.Graph, overrides Params) (*graph.Graph, error) {
+	bb, _, _, err := m.BackboneScored(g, overrides, false)
+	return bb, err
+}
+
+// BackboneScored is Backbone exposing the full run: the backbone, the
+// Scores table it was pruned from (nil for extract-only methods), and
+// the resolved parameters, optionally scoring on all CPUs. It is the
+// single implementation of the score-then-Cut rule.
+func (m *Method) BackboneScored(g *graph.Graph, overrides Params, parallel bool) (*graph.Graph, *Scores, Params, error) {
+	p, err := m.Resolve(overrides)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if m.Scorer != nil && m.Cut != nil {
+		s, err := m.Score(g, parallel)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return s.Threshold(m.Cut(p)), s, p, nil
+	}
+	if m.Extractor != nil {
+		bb, err := m.Extractor.Extract(g)
+		return bb, nil, p, err
+	}
+	return nil, nil, nil, fmt.Errorf("filter: method %q has neither a pruning rule nor an extractor", m.Name)
+}
+
+// reservedParams are names claimed by the shared pipeline/CLI options
+// (method selection, top-k pruning, I/O); a parameter schema reusing
+// one would collide with the generated CLI flags, so registration
+// rejects them up front — the collision then surfaces as a clear error
+// in any test run of the registering package instead of a flag-redefine
+// panic in the CLI.
+var reservedParams = map[string]bool{
+	"method": true, "top": true, "frac": true, "parallel": true,
+	"directed": true, "o": true, "list": true, "help": true,
+}
+
+// validate checks a Method for registration.
+func (m *Method) validate() error {
+	if m == nil || m.Name == "" {
+		return fmt.Errorf("filter: method must have a name")
+	}
+	if m.Scorer == nil && m.Extractor == nil {
+		return fmt.Errorf("filter: method %q has neither scorer nor extractor", m.Name)
+	}
+	if m.Cut != nil && m.Scorer == nil {
+		return fmt.Errorf("filter: method %q has a threshold rule but no scorer", m.Name)
+	}
+	if m.Scorer != nil && m.Cut == nil && m.Extractor == nil {
+		return fmt.Errorf("filter: scoring method %q needs a threshold rule or an extractor for its default backbone", m.Name)
+	}
+	seen := make(map[string]bool, len(m.Params))
+	for _, p := range m.Params {
+		if p.Name == "" {
+			return fmt.Errorf("filter: method %q has an unnamed parameter", m.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("filter: method %q declares parameter %q twice", m.Name, p.Name)
+		}
+		if reservedParams[p.Name] {
+			return fmt.Errorf("filter: method %q parameter %q collides with a reserved pipeline option name", m.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// Registry is a concurrency-safe name-indexed collection of Methods.
+// The package-level Default registry is the one algorithms self-register
+// into; independent registries exist for tests and embedders.
+type Registry struct {
+	mu      sync.RWMutex
+	methods map[string]*Method
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{methods: make(map[string]*Method)}
+}
+
+// Register adds a method, rejecting invalid entries and duplicate names.
+func (r *Registry) Register(m *Method) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.methods[m.Name]; dup {
+		return fmt.Errorf("filter: method %q already registered", m.Name)
+	}
+	r.methods[m.Name] = m
+	return nil
+}
+
+// MustRegister is Register that panics on error — for package init.
+func (r *Registry) MustRegister(m *Method) {
+	if err := r.Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the method registered under name.
+func (r *Registry) Lookup(name string) (*Method, error) {
+	r.mu.RLock()
+	m, ok := r.methods[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("filter: unknown method %q (known: %v)", name, r.Names())
+	}
+	return m, nil
+}
+
+// All returns every registered method sorted by (Order, Name).
+func (r *Registry) All() []*Method {
+	r.mu.RLock()
+	out := make([]*Method, 0, len(r.methods))
+	for _, m := range r.methods {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the registered method names in All order.
+func (r *Registry) Names() []string {
+	ms := r.All()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Default is the registry the algorithm packages self-register into.
+var Default = NewRegistry()
+
+// Register adds a method to the Default registry.
+func Register(m *Method) error { return Default.Register(m) }
+
+// MustRegister adds a method to the Default registry, panicking on error.
+func MustRegister(m *Method) { Default.MustRegister(m) }
+
+// Lookup finds a method in the Default registry.
+func Lookup(name string) (*Method, error) { return Default.Lookup(name) }
+
+// All lists the Default registry's methods in presentation order.
+func All() []*Method { return Default.All() }

@@ -1,0 +1,20 @@
+package repro
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestREADMEMethodTableCurrent pins the README's method table to the
+// registry: if a method or parameter changes, regenerate the table
+// with `go run ./cmd/experiments methods`.
+func TestREADMEMethodTableCurrent(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), MethodsTable()) {
+		t.Error("README.md method table is out of date; regenerate with `go run ./cmd/experiments methods`")
+	}
+}
