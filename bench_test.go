@@ -192,27 +192,60 @@ func BenchmarkNCScoresOnly100k(b *testing.B) {
 	}
 }
 
-func BenchmarkGraphBuild100k(b *testing.B) {
+func benchGraphBuild(b *testing.B, nodes, m int) {
 	rng := rand.New(rand.NewSource(3))
 	type e struct {
 		u, v int
 		w    float64
 	}
-	edges := make([]e, 150_000)
+	edges := make([]e, m)
 	for i := range edges {
-		u, v := rng.Intn(100_000), rng.Intn(100_000)
+		u, v := rng.Intn(nodes), rng.Intn(nodes)
 		if u == v {
-			v = (v + 1) % 100_000
+			v = (v + 1) % nodes
 		}
 		edges[i] = e{u, v, rng.Float64()}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bld := NewBuilder(false)
-		bld.AddNodes(100_000)
+		bld.AddNodes(nodes)
 		for _, ed := range edges {
 			bld.MustAddEdge(ed.u, ed.v, ed.w)
 		}
 		bld.Build()
 	}
+}
+
+func BenchmarkGraphBuild100k(b *testing.B) { benchGraphBuild(b, 100_000, 150_000) }
+func BenchmarkGraphBuild1M(b *testing.B)   { benchGraphBuild(b, 700_000, 1_000_000) }
+
+// Extraction benchmarks: pruning a precomputed score table must not
+// re-hash the graph — the CSR Subgraph path is measured in isolation
+// from scoring.
+
+func benchExtract(b *testing.B, n int, prune func(s *Scores) *Graph) {
+	g := fig9Graph(b, n)
+	s, err := NCScores(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bb := prune(s); bb.NumNodes() != g.NumNodes() {
+			b.Fatal("node set not preserved")
+		}
+	}
+}
+
+func BenchmarkThresholdExtract100k(b *testing.B) {
+	benchExtract(b, 100_000, func(s *Scores) *Graph { return s.Threshold(s.ThresholdForK(s.G.NumEdges() / 10)) })
+}
+
+func BenchmarkTopKExtract100k(b *testing.B) {
+	benchExtract(b, 100_000, func(s *Scores) *Graph { return s.TopK(s.G.NumEdges() / 10) })
+}
+
+func BenchmarkTopKExtract1M(b *testing.B) {
+	benchExtract(b, 670_000, func(s *Scores) *Graph { return s.TopK(s.G.NumEdges() / 10) })
 }

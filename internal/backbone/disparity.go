@@ -51,29 +51,45 @@ func alphaFor(w, s float64, k int) float64 {
 	return math.Pow(1-p, float64(k-1))
 }
 
-// Scores computes 1 - α_ij per edge (higher = more significant), so
-// Threshold(1-α) keeps edges significant at level α. Aux column "alpha"
-// carries the raw p-values.
-func (d *Disparity) Scores(g *graph.Graph) (*filter.Scores, error) {
+// NewTable implements filter.RangeScorer; both columns share one
+// backing array.
+func (d *Disparity) NewTable(g *graph.Graph) (*filter.Scores, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("backbone: empty graph")
 	}
 	m := g.NumEdges()
-	s := &filter.Scores{
+	back := make([]float64, 2*m)
+	return &filter.Scores{
 		G:      g,
-		Score:  make([]float64, m),
+		Score:  back[:m:m],
 		Method: d.Name(),
-		Aux:    map[string][]float64{"alpha": make([]float64, m)},
-	}
-	for id, e := range g.Edges() {
+		Aux:    map[string][]float64{"alpha": back[m : 2*m : 2*m]},
+	}, nil
+}
+
+// ScoreEdges implements filter.RangeScorer, filling rows [lo, hi) with
+// the Aux column bound outside the loop.
+func (d *Disparity) ScoreEdges(s *filter.Scores, lo, hi int) {
+	g := s.G
+	edges := g.Edges()
+	score := s.Score
+	alphaCol := s.Aux["alpha"]
+	for id := lo; id < hi; id++ {
+		e := edges[id]
 		src, dst := int(e.Src), int(e.Dst)
 		aOut := alphaFor(e.Weight, g.OutStrength(src), g.OutDegree(src))
 		aIn := alphaFor(e.Weight, g.InStrength(dst), g.InDegree(dst))
 		alpha := math.Min(aOut, aIn)
-		s.Aux["alpha"][id] = alpha
-		s.Score[id] = 1 - alpha
+		alphaCol[id] = alpha
+		score[id] = 1 - alpha
 	}
-	return s, nil
+}
+
+// Scores computes 1 - α_ij per edge (higher = more significant), so
+// Threshold(1-α) keeps edges significant at level α. Aux column "alpha"
+// carries the raw p-values.
+func (d *Disparity) Scores(g *graph.Graph) (*filter.Scores, error) {
+	return filter.Serial(d, g)
 }
 
 // Backbone keeps edges significant at level alpha.

@@ -26,20 +26,30 @@ func NewNaive() *Naive { return &Naive{} }
 // Name implements filter.Scorer.
 func (*Naive) Name() string { return "naive" }
 
-// Scores returns edge weights as significance values.
-func (n *Naive) Scores(g *graph.Graph) (*filter.Scores, error) {
+// NewTable implements filter.RangeScorer.
+func (n *Naive) NewTable(g *graph.Graph) (*filter.Scores, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("backbone: empty graph")
 	}
-	s := &filter.Scores{
+	return &filter.Scores{
 		G:      g,
 		Score:  make([]float64, g.NumEdges()),
 		Method: n.Name(),
+	}, nil
+}
+
+// ScoreEdges implements filter.RangeScorer.
+func (n *Naive) ScoreEdges(s *filter.Scores, lo, hi int) {
+	edges := s.G.Edges()
+	score := s.Score
+	for id := lo; id < hi; id++ {
+		score[id] = edges[id].Weight
 	}
-	for id, e := range g.Edges() {
-		s.Score[id] = e.Weight
-	}
-	return s, nil
+}
+
+// Scores returns edge weights as significance values.
+func (n *Naive) Scores(g *graph.Graph) (*filter.Scores, error) {
+	return filter.Serial(n, g)
 }
 
 // Backbone keeps edges with weight strictly above the threshold.

@@ -16,8 +16,9 @@ func init() {
 		Params: []filter.Param{
 			{Name: "alpha", Default: 0.05, Desc: "significance level on the disparity p-value"},
 		},
-		Scorer: NewDisparity(),
-		Cut:    func(p filter.Params) float64 { return 1 - p["alpha"] },
+		Scorer:         NewDisparity(),
+		ParallelScorer: filter.Parallelize(NewDisparity()),
+		Cut:            func(p filter.Params) float64 { return 1 - p["alpha"] },
 	})
 	filter.MustRegister(&filter.Method{
 		Name:  "hss",
@@ -56,8 +57,9 @@ func init() {
 		Params: []filter.Param{
 			{Name: "threshold", Default: 0, Desc: "minimum edge weight"},
 		},
-		Scorer: NewNaive(),
-		Cut:    func(p filter.Params) float64 { return p["threshold"] },
+		Scorer:         NewNaive(),
+		ParallelScorer: filter.Parallelize(NewNaive()),
+		Cut:            func(p filter.Params) float64 { return p["threshold"] },
 	})
 	filter.MustRegister(&filter.Method{
 		Name:  "kcore",

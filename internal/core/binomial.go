@@ -27,33 +27,49 @@ func NewBinomial() *BinomialPValues { return &BinomialPValues{} }
 // Name implements filter.Scorer.
 func (*BinomialPValues) Name() string { return "nc-binomial" }
 
-// Scores computes upper-tail Binomial p-values per edge.
-// Aux column "pvalue" carries the raw p-values.
-func (b *BinomialPValues) Scores(g *graph.Graph) (*filter.Scores, error) {
+// NewTable implements filter.RangeScorer; both columns share one
+// backing array.
+func (b *BinomialPValues) NewTable(g *graph.Graph) (*filter.Scores, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("core: empty graph")
 	}
 	m := g.NumEdges()
-	out := &filter.Scores{
+	back := make([]float64, 2*m)
+	return &filter.Scores{
 		G:      g,
-		Score:  make([]float64, m),
+		Score:  back[:m:m],
 		Method: b.Name(),
-		Aux:    map[string][]float64{"pvalue": make([]float64, m)},
-	}
+		Aux:    map[string][]float64{"pvalue": back[m : 2*m : 2*m]},
+	}, nil
+}
+
+// ScoreEdges implements filter.RangeScorer, filling rows [lo, hi) with
+// the Aux column bound outside the loop.
+func (b *BinomialPValues) ScoreEdges(out *filter.Scores, lo, hi int) {
+	g := out.G
 	n := g.TotalWeight()
-	for id, e := range g.Edges() {
+	edges := g.Edges()
+	score := out.Score
+	pvalue := out.Aux["pvalue"]
+	for id := lo; id < hi; id++ {
+		e := edges[id]
 		ni := g.OutStrength(int(e.Src))
 		nj := g.InStrength(int(e.Dst))
 		p := ni * nj / (n * n)
 		pv := stats.BinomialSF(e.Weight, n, p)
-		out.Aux["pvalue"][id] = pv
+		pvalue[id] = pv
 		if pv <= 0 {
-			out.Score[id] = math.Inf(1)
+			score[id] = math.Inf(1)
 		} else {
-			out.Score[id] = -math.Log10(pv)
+			score[id] = -math.Log10(pv)
 		}
 	}
-	return out, nil
+}
+
+// Scores computes upper-tail Binomial p-values per edge.
+// Aux column "pvalue" carries the raw p-values.
+func (b *BinomialPValues) Scores(g *graph.Graph) (*filter.Scores, error) {
+	return filter.Serial(b, g)
 }
 
 // Backbone keeps edges whose Binomial p-value is below alpha.

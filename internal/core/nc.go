@@ -54,10 +54,20 @@ type EdgeStats struct {
 // intervals.
 func ComputeEdge(nij, ni, nj, n float64) EdgeStats {
 	var es EdgeStats
+	computeEdgeInto(&es, nij, ni, nj, n)
+	return es
+}
+
+// computeEdgeInto is ComputeEdge writing through a pointer: the scoring
+// hot loop reuses one EdgeStats instead of copying a 48-byte struct out
+// of every call. The math is shared, so serial, parallel and one-off
+// edge evaluations are bit-identical by construction.
+func computeEdgeInto(es *EdgeStats, nij, ni, nj, n float64) {
 	if ni <= 0 || nj <= 0 || n <= 0 {
 		// A positive-weight edge guarantees positive strengths; this
 		// branch only serves hypothetical queries on empty margins.
-		return es
+		*es = EdgeStats{}
+		return
 	}
 	es.Expected = ni * nj / n
 	kappa := n / (ni * nj) // 1 / E[N_ij]
@@ -90,7 +100,6 @@ func ComputeEdge(nij, ni, nj, n float64) EdgeStats {
 	deriv := 2 * (kappa + nij*dKappa) / (denom * denom)
 	es.Variance = varNij * deriv * deriv
 	es.Sdev = math.Sqrt(es.Variance)
-	return es
 }
 
 // NoiseCorrected scores edges with the NC null model. The zero value is
@@ -103,6 +112,63 @@ func New() *NoiseCorrected { return &NoiseCorrected{} }
 // Name implements filter.Scorer.
 func (*NoiseCorrected) Name() string { return "nc" }
 
+// NewTable implements filter.RangeScorer: it allocates the empty NC
+// significance table. All five columns share one backing array, so a
+// million-edge table costs a handful of allocations.
+func (nc *NoiseCorrected) NewTable(g *graph.Graph) (*filter.Scores, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	m := g.NumEdges()
+	back := make([]float64, 5*m)
+	return &filter.Scores{
+		G:      g,
+		Score:  back[0*m : 1*m : 1*m],
+		Method: nc.Name(),
+		Aux: map[string][]float64{
+			"nc_score": back[1*m : 2*m : 2*m],
+			"sdev":     back[2*m : 3*m : 3*m],
+			"expected": back[3*m : 4*m : 4*m],
+			"variance": back[4*m : 5*m : 5*m],
+		},
+	}, nil
+}
+
+// ScoreEdges implements filter.RangeScorer: it fills rows [lo, hi) of
+// the table. Aux columns are bound to locals once, outside the hot
+// loop — a map lookup per edge per column would dominate the kernel.
+func (nc *NoiseCorrected) ScoreEdges(out *filter.Scores, lo, hi int) {
+	g := out.G
+	// For undirected graphs each canonical edge is a single bilateral
+	// relation: strengths count both endpoints' incident weight and
+	// TotalWeight counts each edge once per direction, so the directed
+	// formulas apply unchanged with N_ij measured once.
+	n := g.TotalWeight()
+	outS, inS := g.OutStrengths(), g.InStrengths()
+	edges := g.Edges()[lo:hi]
+	score := out.Score[lo:hi]
+	ncScore := out.Aux["nc_score"][lo:hi]
+	sdev := out.Aux["sdev"][lo:hi]
+	expected := out.Aux["expected"][lo:hi]
+	variance := out.Aux["variance"][lo:hi]
+	var es EdgeStats
+	for i, e := range edges {
+		computeEdgeInto(&es, e.Weight, outS[e.Src], inS[e.Dst], n)
+		ncScore[i] = es.Score
+		sdev[i] = es.Sdev
+		expected[i] = es.Expected
+		variance[i] = es.Variance
+		switch {
+		case es.Sdev > 0:
+			score[i] = es.Score / es.Sdev
+		case es.Score > 0:
+			score[i] = math.Inf(1)
+		default:
+			score[i] = math.Inf(-1)
+		}
+	}
+}
+
 // Scores computes the NC significance table. The canonical Score column
 // is L̃_ij / σ_ij, so that Threshold(δ) implements the paper's pruning
 // rule "keep the edge iff L̃_ij > δ·σ_ij". Aux columns:
@@ -114,42 +180,7 @@ func (*NoiseCorrected) Name() string { return "nc" }
 //	"variance"  — V[L̃_ij], the quantity validated against observed
 //	              year-to-year variance in Table I.
 func (nc *NoiseCorrected) Scores(g *graph.Graph) (*filter.Scores, error) {
-	if g.NumNodes() == 0 {
-		return nil, fmt.Errorf("core: empty graph")
-	}
-	m := g.NumEdges()
-	out := &filter.Scores{
-		G:      g,
-		Score:  make([]float64, m),
-		Method: nc.Name(),
-		Aux: map[string][]float64{
-			"nc_score": make([]float64, m),
-			"sdev":     make([]float64, m),
-			"expected": make([]float64, m),
-			"variance": make([]float64, m),
-		},
-	}
-	// For undirected graphs each canonical edge is a single bilateral
-	// relation: strengths count both endpoints' incident weight and
-	// TotalWeight counts each edge once per direction, so the directed
-	// formulas apply unchanged with N_ij measured once.
-	n := g.TotalWeight()
-	for id, e := range g.Edges() {
-		es := ComputeEdge(e.Weight, g.OutStrength(int(e.Src)), g.InStrength(int(e.Dst)), n)
-		out.Aux["nc_score"][id] = es.Score
-		out.Aux["sdev"][id] = es.Sdev
-		out.Aux["expected"][id] = es.Expected
-		out.Aux["variance"][id] = es.Variance
-		switch {
-		case es.Sdev > 0:
-			out.Score[id] = es.Score / es.Sdev
-		case es.Score > 0:
-			out.Score[id] = math.Inf(1)
-		default:
-			out.Score[id] = math.Inf(-1)
-		}
-	}
-	return out, nil
+	return filter.Serial(nc, g)
 }
 
 // Backbone extracts the NC backbone at significance δ: edges whose

@@ -1,93 +1,18 @@
 package core
 
 import (
-	"math"
-	"runtime"
-	"sync"
-
 	"repro/internal/filter"
-	"repro/internal/graph"
 )
 
-// ParallelNoiseCorrected scores edges with the NC null model using all
-// available CPUs. Edge scores are independent given the (precomputed)
-// node strengths, so the computation is embarrassingly parallel; this
-// scorer exists for the paper's scalability regime ("exploring
-// improvements in the implementation ... could lead to its potential
-// application to networks with billions of edges", Section VII).
-// Results are bit-identical to NoiseCorrected.
-type ParallelNoiseCorrected struct {
-	// Workers overrides the worker count (default: GOMAXPROCS).
-	Workers int
-}
-
-// NewParallel returns a parallel NC scorer with default worker count.
-func NewParallel() *ParallelNoiseCorrected { return &ParallelNoiseCorrected{} }
-
-// Name implements filter.Scorer.
-func (*ParallelNoiseCorrected) Name() string { return "nc-parallel" }
-
-// Scores computes the same table as NoiseCorrected.Scores, in parallel.
-func (p *ParallelNoiseCorrected) Scores(g *graph.Graph) (*filter.Scores, error) {
-	// Delegate validation and the small-graph path to the serial scorer.
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if g.NumEdges() < 4096 || workers == 1 {
-		s, err := New().Scores(g)
-		if err != nil {
-			return nil, err
-		}
-		s.Method = p.Name()
-		return s, nil
-	}
-	m := g.NumEdges()
-	out := &filter.Scores{
-		G:      g,
-		Score:  make([]float64, m),
-		Method: p.Name(),
-		Aux: map[string][]float64{
-			"nc_score": make([]float64, m),
-			"sdev":     make([]float64, m),
-			"expected": make([]float64, m),
-			"variance": make([]float64, m),
-		},
-	}
-	n := g.TotalWeight()
-	edges := g.Edges()
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for id := lo; id < hi; id++ {
-				e := edges[id]
-				es := ComputeEdge(e.Weight, g.OutStrength(int(e.Src)), g.InStrength(int(e.Dst)), n)
-				out.Aux["nc_score"][id] = es.Score
-				out.Aux["sdev"][id] = es.Sdev
-				out.Aux["expected"][id] = es.Expected
-				out.Aux["variance"][id] = es.Variance
-				switch {
-				case es.Sdev > 0:
-					out.Score[id] = es.Score / es.Sdev
-				case es.Score > 0:
-					out.Score[id] = math.Inf(1)
-				default:
-					out.Score[id] = math.Inf(-1)
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out, nil
-}
+// NewParallel returns the NC scorer computed on all CPUs. Edge scores
+// are independent given the (precomputed) node strengths, so the
+// computation is embarrassingly parallel; the parallel variant exists
+// for the paper's scalability regime ("exploring improvements in the
+// implementation ... could lead to its potential application to
+// networks with billions of edges", Section VII).
+//
+// The chunked-worker machinery lives in filter.Parallelize — the same
+// wrapper serves df, nt and nc-binomial — and results are bit-identical
+// to the serial NoiseCorrected scorer, since both run the exact same
+// per-edge kernel (NoiseCorrected.ScoreEdges).
+func NewParallel() *filter.Parallel { return filter.Parallelize(New()) }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/filter"
 	"repro/internal/gen"
 )
 
@@ -15,7 +16,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 1, 2, 7} {
-		par, err := (&ParallelNoiseCorrected{Workers: workers}).Scores(g)
+		par, err := (&filter.Parallel{RS: New(), Workers: workers}).Scores(g)
 		if err != nil {
 			t.Fatal(err)
 		}

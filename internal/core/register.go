@@ -31,7 +31,8 @@ func init() {
 		Params: []filter.Param{
 			{Name: "alpha", Default: 0.05, Desc: "significance level on the Binomial p-value"},
 		},
-		Scorer: NewBinomial(),
-		Cut:    func(p filter.Params) float64 { return -math.Log10(p["alpha"]) },
+		Scorer:         NewBinomial(),
+		ParallelScorer: filter.Parallelize(NewBinomial()),
+		Cut:            func(p filter.Params) float64 { return -math.Log10(p["alpha"]) },
 	})
 }

@@ -6,7 +6,9 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 // Fig9Config parameterizes the scalability experiment (Section V-G).
@@ -42,6 +44,14 @@ type Fig9Result struct {
 	// Exponent[methodShort] is the fitted slope of log(time) vs
 	// log(edges) — the paper estimates ~1.14 for its NC implementation.
 	Exponent map[string]float64
+	// BuildSeconds[sizeIdx] times the graph substrate itself: rebuilding
+	// the CSR graph from its canonical edge list (sort + merge + CSR
+	// assembly). The engine-speed floor under every method.
+	BuildSeconds []float64
+	// ExtractSeconds[sizeIdx] times backbone extraction alone: pruning a
+	// precomputed NC score table to its top 10% of edges (selection +
+	// subgraph assembly, no scoring).
+	ExtractSeconds []float64
 }
 
 // Fig9 times every method on growing Erdős–Rényi graphs.
@@ -63,6 +73,12 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 		mEdges := n * 3 / 2 // average degree 3
 		g := gen.ErdosRenyiGNM(rng, n, mEdges)
 		res.Edges = append(res.Edges, g.NumEdges())
+		build, extract, err := timeBuildExtract(g, cfg.Reps)
+		if err != nil {
+			return nil, err
+		}
+		res.BuildSeconds = append(res.BuildSeconds, build)
+		res.ExtractSeconds = append(res.ExtractSeconds, extract)
 		for _, m := range res.Methods {
 			expensive := m.Short == "hss" || m.Short == "ds"
 			if expensive && g.NumEdges() > cfg.MaxExpensiveEdges {
@@ -101,6 +117,35 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	return res, nil
 }
 
+// timeBuildExtract times the two engine primitives under every method:
+// rebuilding the graph from its canonical edge list, and pruning a
+// precomputed NC score table to a top-10% backbone. Both are averaged
+// over reps runs.
+func timeBuildExtract(g *graph.Graph, reps int) (build, extract float64, err error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var s *filter.Scores
+	m, err := MethodByShort("nc")
+	if err != nil {
+		return 0, 0, err
+	}
+	if s, err = m.Scorer.Scores(g); err != nil {
+		return 0, 0, err
+	}
+	var tBuild, tExtract time.Duration
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		graph.FromEdges(g.Directed(), g.NumNodes(), g.Edges())
+		tBuild += time.Since(start)
+
+		start = time.Now()
+		s.TopFraction(0.1)
+		tExtract += time.Since(start)
+	}
+	return tBuild.Seconds() / float64(reps), tExtract.Seconds() / float64(reps), nil
+}
+
 // slope returns the OLS slope of y on x.
 func slope(x, y []float64) float64 {
 	n := float64(len(x))
@@ -127,6 +172,7 @@ func (r *Fig9Result) Table() *Table {
 	for _, m := range r.Methods {
 		t.Header = append(t.Header, m.Short)
 	}
+	t.Header = append(t.Header, "build", "extract")
 	for si, e := range r.Edges {
 		row := []string{fmt.Sprintf("%d", e)}
 		for _, m := range r.Methods {
@@ -137,15 +183,20 @@ func (r *Fig9Result) Table() *Table {
 				row = append(row, fmt.Sprintf("%.4f", v))
 			}
 		}
+		row = append(row,
+			fmt.Sprintf("%.4f", r.BuildSeconds[si]),
+			fmt.Sprintf("%.4f", r.ExtractSeconds[si]))
 		t.AddRow(row...)
 	}
 	expRow := []string{"exponent"}
 	for _, m := range r.Methods {
 		expRow = append(expRow, f3(r.Exponent[m.Short]))
 	}
+	expRow = append(expRow, "—", "—")
 	t.AddRow(expRow...)
 	t.Notes = append(t.Notes,
 		"paper: NC scales ~O(|E|^1.14), indistinguishable from NT and DF up to a constant;",
-		"HSS and DS become impractical beyond a few thousand edges and are skipped there")
+		"HSS and DS become impractical beyond a few thousand edges and are skipped there;",
+		"build = CSR graph assembly from the canonical edge list, extract = top-10% NC pruning")
 	return t
 }

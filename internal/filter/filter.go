@@ -12,7 +12,6 @@ package filter
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -71,9 +70,11 @@ func (s *Scores) Validate() error {
 // Threshold returns the backbone keeping edges with Score > t.
 // The full node set is preserved so coverage can be measured.
 func (s *Scores) Threshold(t float64) *graph.Graph {
-	return s.G.FilterEdges(func(id int, _ graph.Edge) bool {
-		return s.Score[id] > t
-	})
+	keep := make([]bool, len(s.Score))
+	for id, v := range s.Score {
+		keep[id] = v > t
+	}
+	return s.G.Subgraph(keep)
 }
 
 // CountAbove returns how many edges have Score > t.
@@ -87,41 +88,98 @@ func (s *Scores) CountAbove(t float64) int {
 	return n
 }
 
-// ranking returns edge IDs sorted by descending significance with
-// deterministic tie-breaking (higher weight first, then lower edge ID).
-func (s *Scores) ranking() []int {
+// outranks reports whether edge a ranks above edge b: higher score
+// first, then higher weight, then lower edge ID. It is a strict total
+// order, so every top-k edge set is unique and deterministic.
+func (s *Scores) outranks(edges []graph.Edge, a, b int) bool {
+	if s.Score[a] != s.Score[b] {
+		return s.Score[a] > s.Score[b]
+	}
+	if edges[a].Weight != edges[b].Weight {
+		return edges[a].Weight > edges[b].Weight
+	}
+	return a < b
+}
+
+// selectTop partially orders ids in place so that ids[:k] are the k
+// highest-ranked edges (in unspecified order). Hoare-partition
+// quickselect with median-of-three pivots: expected O(m), replacing
+// the former full O(m log m) stable sort on the top-k path.
+func (s *Scores) selectTop(ids []int, k int) {
+	if k <= 0 || k >= len(ids) {
+		return
+	}
+	edges := s.G.Edges()
+	before := func(a, b int) bool { return s.outranks(edges, a, b) }
+	lo, hi := 0, len(ids)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if before(ids[mid], ids[lo]) {
+			ids[mid], ids[lo] = ids[lo], ids[mid]
+		}
+		if before(ids[hi], ids[lo]) {
+			ids[hi], ids[lo] = ids[lo], ids[hi]
+		}
+		if before(ids[hi], ids[mid]) {
+			ids[hi], ids[mid] = ids[mid], ids[hi]
+		}
+		pivot := ids[mid]
+		i, j := lo, hi
+		for i <= j {
+			for before(ids[i], pivot) {
+				i++
+			}
+			for before(pivot, ids[j]) {
+				j--
+			}
+			if i <= j {
+				ids[i], ids[j] = ids[j], ids[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// topIDs returns the ids of the k highest-ranked edges, unordered.
+func (s *Scores) topIDs(k int) []int {
 	ids := make([]int, len(s.Score))
 	for i := range ids {
 		ids[i] = i
 	}
-	edges := s.G.Edges()
-	sort.SliceStable(ids, func(a, b int) bool {
-		ia, ib := ids[a], ids[b]
-		if s.Score[ia] != s.Score[ib] {
-			return s.Score[ia] > s.Score[ib]
-		}
-		if edges[ia].Weight != edges[ib].Weight {
-			return edges[ia].Weight > edges[ib].Weight
-		}
-		return ia < ib
-	})
-	return ids
+	s.selectTop(ids, k)
+	return ids[:k]
 }
 
 // TopK returns the backbone with the k most significant edges
 // (all edges if k exceeds the edge count).
 func (s *Scores) TopK(k int) *graph.Graph {
+	m := len(s.Score)
 	if k < 0 {
 		k = 0
 	}
-	if k > len(s.Score) {
-		k = len(s.Score)
+	if k > m {
+		k = m
 	}
-	keep := make(map[int32]bool, k)
-	for _, id := range s.ranking()[:k] {
-		keep[int32(id)] = true
+	keep := make([]bool, m)
+	if k == m {
+		for i := range keep {
+			keep[i] = true
+		}
+	} else if k > 0 {
+		for _, id := range s.topIDs(k) {
+			keep[id] = true
+		}
 	}
-	return s.G.KeepEdges(keep)
+	return s.G.Subgraph(keep)
 }
 
 // TopFraction returns the backbone keeping the given share (0..1] of
@@ -140,5 +198,14 @@ func (s *Scores) ThresholdForK(k int) float64 {
 	if k > len(s.Score) {
 		k = len(s.Score)
 	}
-	return s.Score[s.ranking()[k-1]]
+	// The k-th ranked edge is the lowest-ranked of the top k.
+	ids := s.topIDs(k)
+	edges := s.G.Edges()
+	worst := ids[0]
+	for _, id := range ids[1:] {
+		if s.outranks(edges, worst, id) {
+			worst = id
+		}
+	}
+	return s.Score[worst]
 }

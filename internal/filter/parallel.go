@@ -1,0 +1,113 @@
+package filter
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ParallelEdges partitions the edge-ID space [0, m) into contiguous
+// chunks and runs fn on each chunk concurrently, returning once every
+// chunk is done. workers <= 0 means GOMAXPROCS. fn is called with
+// non-overlapping half-open ranges covering [0, m) exactly once; with
+// one worker (or m <= 1) it runs inline on the caller's goroutine.
+//
+// This is the single chunked-worker loop shared by every parallel
+// scorer — per-edge significance computations are independent given
+// the graph, so splitting the table by ranges is race-free as long as
+// fn only writes rows in [lo, hi).
+func ParallelEdges(m, workers int, fn func(lo, hi int)) {
+	if m <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers == 1 {
+		fn(0, m)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RangeScorer is the decomposed form of a Scorer whose per-edge work is
+// independent given the graph: table allocation and row computation are
+// separate, so the same kernel can run serially or chunked across CPUs
+// with bit-identical results.
+type RangeScorer interface {
+	// Name returns the scorer's short identifier ("nc", "df", ...).
+	Name() string
+	// NewTable allocates the empty Scores table (Score and Aux columns
+	// sized to g.NumEdges(), Method set) without computing any rows.
+	NewTable(g *graph.Graph) (*Scores, error)
+	// ScoreEdges computes rows [lo, hi) of a table produced by NewTable.
+	// It must not touch rows outside the range.
+	ScoreEdges(s *Scores, lo, hi int)
+}
+
+// Serial computes a RangeScorer's full table on the calling goroutine —
+// the standard body of the sequential Scores method.
+func Serial(rs RangeScorer, g *graph.Graph) (*Scores, error) {
+	s, err := rs.NewTable(g)
+	if err != nil {
+		return nil, err
+	}
+	rs.ScoreEdges(s, 0, len(s.Score))
+	return s, nil
+}
+
+// Parallel wraps a RangeScorer into a drop-in Scorer that computes the
+// identical table on all CPUs. Small graphs are scored serially: below
+// MinEdges the goroutine fan-out costs more than it saves.
+type Parallel struct {
+	RS RangeScorer
+	// Workers overrides the worker count (default: GOMAXPROCS).
+	Workers int
+	// MinEdges is the serial-fallback cutoff (default 4096).
+	MinEdges int
+}
+
+// Parallelize returns the default parallel wrapping of rs.
+func Parallelize(rs RangeScorer) *Parallel { return &Parallel{RS: rs} }
+
+// Name implements Scorer.
+func (p *Parallel) Name() string { return p.RS.Name() + "-parallel" }
+
+// Scores implements Scorer. The result is bit-identical to the wrapped
+// scorer's sequential output: the per-edge kernel is the same code, and
+// rows do not interact.
+func (p *Parallel) Scores(g *graph.Graph) (*Scores, error) {
+	s, err := p.RS.NewTable(g)
+	if err != nil {
+		return nil, err
+	}
+	m := len(s.Score)
+	minEdges := p.MinEdges
+	if minEdges == 0 {
+		minEdges = 4096
+	}
+	if m < minEdges {
+		p.RS.ScoreEdges(s, 0, m)
+	} else {
+		ParallelEdges(m, p.Workers, func(lo, hi int) { p.RS.ScoreEdges(s, lo, hi) })
+	}
+	s.Method = p.Name()
+	return s, nil
+}

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates nodes and edges and produces an immutable Graph.
@@ -11,11 +11,17 @@ import (
 // backboning null models are defined on interactions between distinct
 // nodes (the paper's case study explicitly keeps same-occupation
 // switchers out of the network, on the matrix diagonal).
+//
+// Edges are buffered in a flat append-only slice and deduplicated at
+// Build time by a stable sort + adjacent merge, so no per-edge hashing
+// happens anywhere on the build path. The stable sort keeps duplicate
+// contributions in insertion order, making the merged weights
+// bit-identical to a hash-map accumulation.
 type Builder struct {
 	directed bool
 	labels   []string
 	index    map[string]int32
-	weights  map[[2]int32]float64
+	edges    []Edge
 }
 
 // NewBuilder returns a Builder for a directed or undirected graph.
@@ -23,7 +29,6 @@ func NewBuilder(directed bool) *Builder {
 	return &Builder{
 		directed: directed,
 		index:    make(map[string]int32),
-		weights:  make(map[[2]int32]float64),
 	}
 }
 
@@ -69,11 +74,10 @@ func (b *Builder) AddEdge(u, v int, w float64) error {
 	if w == 0 {
 		return nil
 	}
-	key := [2]int32{int32(u), int32(v)}
 	if !b.directed && u > v {
-		key = [2]int32{int32(v), int32(u)}
+		u, v = v, u
 	}
-	b.weights[key] += w
+	b.edges = append(b.edges, Edge{Src: int32(u), Dst: int32(v), Weight: w})
 	return nil
 }
 
@@ -95,49 +99,128 @@ func (b *Builder) MustAddEdge(u, v int, w float64) {
 func (b *Builder) Build() *Graph {
 	n := len(b.labels)
 	g := &Graph{
-		directed:    b.directed,
-		labels:      append([]string(nil), b.labels...),
-		index:       make(map[string]int32, len(b.index)),
-		edges:       make([]Edge, 0, len(b.weights)),
-		out:         make([][]Arc, n),
-		outStrength: make([]float64, n),
-		inStrength:  make([]float64, n),
+		directed: b.directed,
+		labels:   append([]string(nil), b.labels...),
+		index:    make(map[string]int32, len(b.index)),
+		edges:    mergeEdges(b.edges),
 	}
 	for k, v := range b.index {
 		g.index[k] = v
 	}
-	for key, w := range b.weights {
-		g.edges = append(g.edges, Edge{Src: key[0], Dst: key[1], Weight: w})
+	g.buildCSR(n)
+	return g
+}
+
+// edgeRec is a sortable buffered edge: the endpoint pair packed into
+// one comparable word, plus the insertion index and the weight.
+type edgeRec struct {
+	key uint64 // Src<<32 | Dst — node IDs are non-negative int32s
+	idx int32  // insertion order; tie-break makes the sort stable
+	w   float64
+}
+
+// mergeEdges returns the canonical edge slice — sorted by (Src, Dst),
+// duplicates merged by summing weights — without touching the input.
+// The sort key includes the insertion index, so duplicate contributions
+// accumulate in insertion order: float addition is not associative, and
+// this keeps merged weights bit-identical to per-pair accumulation.
+func mergeEdges(edges []Edge) []Edge {
+	recs := make([]edgeRec, len(edges))
+	for i, e := range edges {
+		recs[i] = edgeRec{key: uint64(uint32(e.Src))<<32 | uint64(uint32(e.Dst)), idx: int32(i), w: e.Weight}
 	}
-	// Canonical deterministic order: by (Src, Dst).
-	sort.Slice(g.edges, func(i, j int) bool {
-		if g.edges[i].Src != g.edges[j].Src {
-			return g.edges[i].Src < g.edges[j].Src
+	slices.SortFunc(recs, func(a, b edgeRec) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
 		}
-		return g.edges[i].Dst < g.edges[j].Dst
+		return int(a.idx - b.idx)
 	})
-	if b.directed {
-		g.in = make([][]Arc, n)
+	out := make([]Edge, 0, len(recs))
+	var prev uint64
+	for _, r := range recs {
+		if k := len(out); k > 0 && prev == r.key {
+			out[k-1].Weight += r.w
+		} else {
+			out = append(out, Edge{Src: int32(r.key >> 32), Dst: int32(uint32(r.key)), Weight: r.w})
+			prev = r.key
+		}
 	}
-	for id, e := range g.edges {
-		g.out[e.Src] = append(g.out[e.Src], Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight})
-		g.outStrength[e.Src] += e.Weight
-		if b.directed {
-			g.in[e.Dst] = append(g.in[e.Dst], Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight})
+	return out
+}
+
+// buildCSR assembles adjacency, strengths and the isolate count from
+// g.edges, which must already be canonical (sorted by (Src, Dst), no
+// duplicates). It is shared by Build and Subgraph.
+//
+// Arc ordering invariant: every node's arc range is sorted by To.
+// Directed out-arcs inherit it from the edge order; directed in-arcs
+// are scattered in edge order, so each node collects origins in
+// ascending Src order. For undirected graphs a node u's incident arcs
+// split into destinations below u (edges where u is Dst) and above u
+// (edges where u is Src) — scattering all Dst-side arcs before all
+// Src-side arcs therefore yields each range sorted, with no per-node
+// sorting pass.
+func (g *Graph) buildCSR(n int) {
+	g.outStrength = make([]float64, n)
+	g.inStrength = make([]float64, n)
+	g.outOff = make([]int32, n+1)
+	m := len(g.edges)
+
+	if g.directed {
+		g.inOff = make([]int32, n+1)
+		for _, e := range g.edges {
+			g.outOff[e.Src+1]++
+			g.inOff[e.Dst+1]++
+		}
+		for u := 0; u < n; u++ {
+			g.outOff[u+1] += g.outOff[u]
+			g.inOff[u+1] += g.inOff[u]
+		}
+		g.arcs = make([]Arc, m)
+		g.inArcs = make([]Arc, m)
+		outNext := append([]int32(nil), g.outOff[:n]...)
+		inNext := append([]int32(nil), g.inOff[:n]...)
+		for id, e := range g.edges {
+			g.arcs[outNext[e.Src]] = Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight}
+			outNext[e.Src]++
+			g.inArcs[inNext[e.Dst]] = Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight}
+			inNext[e.Dst]++
+			g.outStrength[e.Src] += e.Weight
 			g.inStrength[e.Dst] += e.Weight
 			g.total += e.Weight
-		} else {
-			g.out[e.Dst] = append(g.out[e.Dst], Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight})
+		}
+	} else {
+		for _, e := range g.edges {
+			g.outOff[e.Src+1]++
+			g.outOff[e.Dst+1]++
+		}
+		for u := 0; u < n; u++ {
+			g.outOff[u+1] += g.outOff[u]
+		}
+		g.arcs = make([]Arc, 2*m)
+		next := append([]int32(nil), g.outOff[:n]...)
+		for id, e := range g.edges { // Dst-side arcs first: To < node
+			g.arcs[next[e.Dst]] = Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight}
+			next[e.Dst]++
+		}
+		for id, e := range g.edges { // then Src-side arcs: To > node
+			g.arcs[next[e.Src]] = Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight}
+			next[e.Src]++
+			g.outStrength[e.Src] += e.Weight
 			g.outStrength[e.Dst] += e.Weight
-			g.inStrength[e.Src] += e.Weight
-			g.inStrength[e.Dst] += e.Weight
 			g.total += 2 * e.Weight
 		}
-	}
-	if !b.directed {
 		copy(g.inStrength, g.outStrength)
 	}
-	return g
+
+	for u := 0; u < n; u++ {
+		if g.OutDegree(u) == 0 && g.InDegree(u) == 0 {
+			g.isolates++
+		}
+	}
 }
 
 // FromEdges builds a graph over n anonymous nodes from an edge slice.

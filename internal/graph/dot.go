@@ -52,7 +52,7 @@ func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
 		}
 	}
 	for v := 0; v < g.NumNodes(); v++ {
-		if len(g.out[v]) == 0 && len(g.In(v)) == 0 {
+		if g.OutDegree(v) == 0 && g.InDegree(v) == 0 {
 			continue // isolates clutter the figure
 		}
 		var attrs []string

@@ -7,6 +7,11 @@
 // strength of both endpoints. Parallel edges are merged at build time
 // by summing weights, matching the count-data interpretation of edge
 // weights in Coscia & Neffke (ICDE 2017).
+//
+// Adjacency is stored in CSR (compressed sparse row) form: one flat
+// arc slice plus per-node offsets, with each node's arcs sorted by
+// destination. The flat layout keeps neighbor iteration cache-friendly
+// and lets Weight answer membership queries by binary search.
 package graph
 
 import "fmt"
@@ -33,19 +38,31 @@ type Graph struct {
 	index    map[string]int32
 
 	edges []Edge
-	out   [][]Arc // directed: outgoing arcs; undirected: all incident arcs
-	in    [][]Arc // directed only; nil for undirected graphs
+
+	// CSR adjacency. arcs[outOff[u]:outOff[u+1]] are u's outgoing
+	// (undirected: incident) arcs, sorted by To. For directed graphs
+	// inArcs/inOff hold the incoming arcs, likewise sorted by To.
+	arcs   []Arc
+	outOff []int32
+	inArcs []Arc
+	inOff  []int32
 
 	outStrength []float64
 	inStrength  []float64
 	total       float64
+	isolates    int
 }
 
 // Directed reports whether the graph is directed.
 func (g *Graph) Directed() bool { return g.directed }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.out) }
+func (g *Graph) NumNodes() int {
+	if len(g.outOff) == 0 {
+		return 0
+	}
+	return len(g.outOff) - 1
+}
 
 // NumEdges returns the number of canonical edges
 // (undirected edges count once).
@@ -57,24 +74,31 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // Edge returns the canonical edge with the given ID.
 func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
-// Out returns the outgoing arcs of node u. For undirected graphs this
-// is every incident arc. Callers must not modify the returned slice.
-func (g *Graph) Out(u int) []Arc { return g.out[u] }
+// Out returns the outgoing arcs of node u, sorted by destination. For
+// undirected graphs this is every incident arc. Callers must not modify
+// the returned slice.
+func (g *Graph) Out(u int) []Arc { return g.arcs[g.outOff[u]:g.outOff[u+1]] }
 
-// In returns the incoming arcs of node u. For undirected graphs it is
-// identical to Out. Callers must not modify the returned slice.
+// In returns the incoming arcs of node u, sorted by origin. For
+// undirected graphs it is identical to Out. Callers must not modify the
+// returned slice.
 func (g *Graph) In(u int) []Arc {
 	if !g.directed {
-		return g.out[u]
+		return g.Out(u)
 	}
-	return g.in[u]
+	return g.inArcs[g.inOff[u]:g.inOff[u+1]]
 }
 
 // OutDegree returns the number of outgoing (or, undirected, incident) arcs.
-func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+func (g *Graph) OutDegree(u int) int { return int(g.outOff[u+1] - g.outOff[u]) }
 
 // InDegree returns the number of incoming (or, undirected, incident) arcs.
-func (g *Graph) InDegree(u int) int { return len(g.In(u)) }
+func (g *Graph) InDegree(u int) int {
+	if !g.directed {
+		return g.OutDegree(u)
+	}
+	return int(g.inOff[u+1] - g.inOff[u])
+}
 
 // OutStrength returns the summed weight of u's outgoing arcs
 // (incident arcs if undirected). This is the paper's N_i. .
@@ -83,6 +107,15 @@ func (g *Graph) OutStrength(u int) float64 { return g.outStrength[u] }
 // InStrength returns the summed weight of u's incoming arcs
 // (incident arcs if undirected). This is the paper's N_.j .
 func (g *Graph) InStrength(u int) float64 { return g.inStrength[u] }
+
+// OutStrengths returns the per-node outgoing strengths indexed by node
+// ID — the flat form of OutStrength for scoring hot loops. Callers must
+// not modify the returned slice.
+func (g *Graph) OutStrengths() []float64 { return g.outStrength }
+
+// InStrengths returns the per-node incoming strengths indexed by node
+// ID. Callers must not modify the returned slice.
+func (g *Graph) InStrengths() []float64 { return g.inStrength }
 
 // TotalWeight returns N.., the sum of all directed interaction weights.
 // For undirected graphs every edge is counted twice (once per direction),
@@ -110,24 +143,40 @@ func (g *Graph) NodeID(label string) int {
 	return -1
 }
 
-// Weight returns the weight of the edge from u to v and whether it exists.
-// For undirected graphs order does not matter. O(min deg).
-func (g *Graph) Weight(u, v int) (float64, bool) {
-	arcs := g.out[u]
-	if g.directed && len(g.In(v)) < len(arcs) {
-		for _, a := range g.In(v) {
-			if int(a.To) == u {
-				return a.Weight, true
-			}
+// searchArcs binary-searches a To-sorted arc slice for destination v.
+func searchArcs(arcs []Arc, v int32) (float64, bool) {
+	lo, hi := 0, len(arcs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arcs[mid].To < v {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		return 0, false
 	}
-	for _, a := range arcs {
-		if int(a.To) == v {
-			return a.Weight, true
-		}
+	if lo < len(arcs) && arcs[lo].To == v {
+		return arcs[lo].Weight, true
 	}
 	return 0, false
+}
+
+// Weight returns the weight of the edge from u to v and whether it
+// exists. For undirected graphs order does not matter. Each node's arc
+// range is sorted by destination, so the lookup binary-searches the
+// smaller endpoint's range: O(log min(deg u, deg v)).
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	if g.directed {
+		out, in := g.Out(u), g.In(v)
+		if len(in) < len(out) {
+			return searchArcs(in, int32(u))
+		}
+		return searchArcs(out, int32(v))
+	}
+	a, b := g.Out(u), g.Out(v)
+	if len(b) < len(a) {
+		return searchArcs(b, int32(u))
+	}
+	return searchArcs(a, int32(v))
 }
 
 // String returns a short human-readable summary.
@@ -142,9 +191,9 @@ func (g *Graph) String() string {
 
 // Isolates returns the IDs of nodes with no incident edges.
 func (g *Graph) Isolates() []int {
-	var iso []int
-	for u := range g.out {
-		if len(g.out[u]) == 0 && len(g.In(u)) == 0 {
+	iso := make([]int, 0, g.isolates)
+	for u, n := 0, g.NumNodes(); u < n; u++ {
+		if g.OutDegree(u) == 0 && g.InDegree(u) == 0 {
 			iso = append(iso, u)
 		}
 	}
@@ -152,15 +201,8 @@ func (g *Graph) Isolates() []int {
 }
 
 // NumIsolates returns the number of nodes with no incident edges.
-func (g *Graph) NumIsolates() int {
-	n := 0
-	for u := range g.out {
-		if len(g.out[u]) == 0 && len(g.In(u)) == 0 {
-			n++
-		}
-	}
-	return n
-}
+// The count is precomputed at build time, so this is O(1).
+func (g *Graph) NumIsolates() int { return g.isolates }
 
-// NumConnected returns the number of non-isolated nodes.
-func (g *Graph) NumConnected() int { return g.NumNodes() - g.NumIsolates() }
+// NumConnected returns the number of non-isolated nodes. O(1).
+func (g *Graph) NumConnected() int { return g.NumNodes() - g.isolates }

@@ -1,36 +1,57 @@
 package graph
 
-// KeepEdges returns a copy of g containing only the edges whose canonical
-// ID is in keep, preserving the full node set (so coverage — the share of
-// nodes left non-isolated — can be measured on the result).
-func (g *Graph) KeepEdges(keep map[int32]bool) *Graph {
-	b := NewBuilder(g.directed)
-	b.labels = append([]string(nil), g.labels...)
-	for l, id := range g.index {
-		b.index[l] = id
-	}
-	for id, e := range g.edges {
-		if keep[int32(id)] {
-			b.MustAddEdge(int(e.Src), int(e.Dst), e.Weight)
+// Subgraph returns a copy of g restricted to the edges whose canonical
+// ID has keep[id] == true, preserving the full node set (so coverage —
+// the share of nodes left non-isolated — can be measured on the
+// result). keep must have length g.NumEdges().
+//
+// This is the allocation-light extraction path behind KeepEdges,
+// FilterEdges and the Scores pruners: the kept edges are already
+// canonical (sorted by (Src, Dst), deduplicated, weights final), so the
+// subgraph is assembled straight into CSR form with zero hashing, and
+// the label slice and label index are shared with g (both are immutable
+// after construction).
+func (g *Graph) Subgraph(keep []bool) *Graph {
+	kept := 0
+	for id := range g.edges {
+		if keep[id] {
+			kept++
 		}
 	}
-	return b.Build()
+	edges := make([]Edge, 0, kept)
+	for id, e := range g.edges {
+		if keep[id] {
+			edges = append(edges, e)
+		}
+	}
+	sub := &Graph{
+		directed: g.directed,
+		labels:   g.labels,
+		index:    g.index,
+		edges:    edges,
+	}
+	sub.buildCSR(g.NumNodes())
+	return sub
+}
+
+// KeepEdges returns a copy of g containing only the edges whose canonical
+// ID is in keep, preserving the full node set.
+func (g *Graph) KeepEdges(keep map[int32]bool) *Graph {
+	mask := make([]bool, len(g.edges))
+	for id := range g.edges {
+		mask[id] = keep[int32(id)]
+	}
+	return g.Subgraph(mask)
 }
 
 // FilterEdges returns a copy of g containing only edges for which pred
 // returns true, preserving the full node set.
 func (g *Graph) FilterEdges(pred func(id int, e Edge) bool) *Graph {
-	b := NewBuilder(g.directed)
-	b.labels = append([]string(nil), g.labels...)
-	for l, id := range g.index {
-		b.index[l] = id
-	}
+	mask := make([]bool, len(g.edges))
 	for id, e := range g.edges {
-		if pred(id, e) {
-			b.MustAddEdge(int(e.Src), int(e.Dst), e.Weight)
-		}
+		mask[id] = pred(id, e)
 	}
-	return b.Build()
+	return g.Subgraph(mask)
 }
 
 // Undirected returns an undirected view of g: reciprocal directed edges

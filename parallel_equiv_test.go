@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/gen"
+)
+
+// TestRegisteredParallelScorersBitIdentical asserts the PR-2 perf
+// contract: every method registering a ParallelScorer (nc, df, nt,
+// nc-binomial) must produce a table bit-identical to its serial scorer,
+// Score and every Aux column, on a graph large enough to defeat the
+// serial fallback.
+func TestRegisteredParallelScorersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := gen.ErdosRenyiGNM(rng, 4000, 12_000) // above the 4096-edge cutoff
+
+	want := []string{"nc", "df", "nt", "nc-binomial"}
+	have := map[string]bool{}
+	for _, m := range filter.All() {
+		if m.ParallelScorer == nil {
+			continue
+		}
+		have[m.Name] = true
+		serial, err := m.Scorer.Scores(g)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", m.Name, err)
+		}
+		par, err := m.ParallelScorer.Scores(g)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", m.Name, err)
+		}
+		if par.Method != m.ParallelScorer.Name() {
+			t.Errorf("%s: parallel method name = %q, want %q",
+				m.Name, par.Method, m.ParallelScorer.Name())
+		}
+		if len(par.Score) != len(serial.Score) {
+			t.Fatalf("%s: %d parallel scores, %d serial", m.Name, len(par.Score), len(serial.Score))
+		}
+		for i := range serial.Score {
+			if serial.Score[i] != par.Score[i] {
+				t.Fatalf("%s: score[%d] = %v parallel vs %v serial (must be bit-identical)",
+					m.Name, i, par.Score[i], serial.Score[i])
+			}
+		}
+		if len(par.Aux) != len(serial.Aux) {
+			t.Fatalf("%s: aux columns differ: %d vs %d", m.Name, len(par.Aux), len(serial.Aux))
+		}
+		for col := range serial.Aux {
+			pc, ok := par.Aux[col]
+			if !ok {
+				t.Fatalf("%s: parallel table missing aux %q", m.Name, col)
+			}
+			for i := range serial.Aux[col] {
+				if serial.Aux[col][i] != pc[i] {
+					t.Fatalf("%s: aux %q differs at row %d", m.Name, col, i)
+				}
+			}
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("method %q does not register a parallel scorer", name)
+		}
+	}
+}

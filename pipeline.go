@@ -334,7 +334,7 @@ func BackboneAll(g *Graph, methods []string, opts ...Option) ([]*Result, error) 
 // a GitHub-flavored markdown table — the README's method table is this
 // function's output.
 func MethodsTable() string {
-	out := "| Method | Name | Parameters | Description |\n|---|---|---|---|\n"
+	out := "| Method | Name | Parameters | Parallel | Description |\n|---|---|---|---|---|\n"
 	for _, m := range Methods() {
 		params := "—"
 		if len(m.Params) > 0 {
@@ -350,7 +350,11 @@ func MethodsTable() string {
 				}
 			}
 		}
-		out += fmt.Sprintf("| `%s` | %s | %s | %s |\n", m.Name, m.Title, params, m.Desc)
+		parallel := "—"
+		if m.ParallelScorer != nil {
+			parallel = "✓"
+		}
+		out += fmt.Sprintf("| `%s` | %s | %s | %s | %s |\n", m.Name, m.Title, params, parallel, m.Desc)
 	}
 	return out
 }
