@@ -37,9 +37,10 @@
 package repro
 
 import (
+	"context"
 	"io"
 
-	"repro/internal/backbone"
+	_ "repro/internal/backbone" // self-registers the baseline methods
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/graph"
@@ -71,8 +72,21 @@ type EdgeStats = core.EdgeStats
 func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }
 
 // ReadCSV parses a "src,dst,weight" edge list into a Graph.
+//
+// Deprecated: use ReadGraph, which adds format selection, content
+// sniffing and transparent gzip decompression.
 func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
 	return graph.ReadCSV(r, directed)
+}
+
+// backboneOf runs the context pipeline and unwraps the bare backbone —
+// the shared body of the deprecated per-method helpers.
+func backboneOf(g *Graph, opts ...Option) (*Graph, error) {
+	res, err := BackboneContext(context.Background(), g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Backbone, nil
 }
 
 // NCScores computes the Noise-Corrected significance table. The
@@ -82,14 +96,16 @@ func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
 // "variance" expose the underlying statistics.
 //
 // Deprecated: use Score with WithMethod("nc").
-func NCScores(g *Graph) (*Scores, error) { return core.New().Scores(g) }
+func NCScores(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("nc"))
+}
 
 // NCBackbone extracts the Noise-Corrected backbone at significance δ.
 // Common values: 1.28, 1.64, 2.32 (≈ one-tailed p of 0.10, 0.05, 0.01).
 //
 // Deprecated: use Backbone with WithMethod("nc") and WithDelta.
 func NCBackbone(g *Graph, delta float64) (*Graph, error) {
-	return core.New().Backbone(g, delta)
+	return backboneOf(g, WithMethod("nc"), WithDelta(delta))
 }
 
 // NCEdge evaluates the NC statistics of a single (possibly
@@ -104,20 +120,24 @@ func NCEdge(weight, outStrength, inStrength, total float64) EdgeStats {
 // Score = -log10(p). Aux column "pvalue" holds raw p-values.
 //
 // Deprecated: use Score with WithMethod("nc-binomial").
-func NCBinomialScores(g *Graph) (*Scores, error) { return core.NewBinomial().Scores(g) }
+func NCBinomialScores(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("nc-binomial"))
+}
 
 // DisparityScores computes Disparity Filter significances (Serrano et
 // al. 2009): Score = 1 - α, Aux "alpha" holds the raw p-values.
 //
 // Deprecated: use Score with WithMethod("df").
-func DisparityScores(g *Graph) (*Scores, error) { return backbone.NewDisparity().Scores(g) }
+func DisparityScores(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("df"))
+}
 
 // DisparityBackbone keeps edges significant at level alpha under the
 // Disparity Filter null model.
 //
 // Deprecated: use Backbone with WithMethod("df") and WithAlpha.
 func DisparityBackbone(g *Graph, alpha float64) (*Graph, error) {
-	return backbone.NewDisparity().Backbone(g, alpha)
+	return backboneOf(g, WithMethod("df"), WithAlpha(alpha))
 }
 
 // HSSScores computes High Salience Skeleton saliences (Grady et al.
@@ -125,14 +145,16 @@ func DisparityBackbone(g *Graph, alpha float64) (*Graph, error) {
 // containing each edge.
 //
 // Deprecated: use Score with WithMethod("hss").
-func HSSScores(g *Graph) (*Scores, error) { return backbone.NewHSS().Scores(g) }
+func HSSScores(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("hss"))
+}
 
 // HSSBackbone keeps edges with salience above the threshold
 // (0.5 is customary given the bimodal salience distribution).
 //
 // Deprecated: use Backbone with WithMethod("hss") and WithSalience.
 func HSSBackbone(g *Graph, salience float64) (*Graph, error) {
-	return backbone.NewHSS().Backbone(g, salience)
+	return backboneOf(g, WithMethod("hss"), WithSalience(salience))
 }
 
 // DoublyStochasticScores returns Sinkhorn-normalized edge weights
@@ -141,7 +163,7 @@ func HSSBackbone(g *Graph, salience float64) (*Graph, error) {
 //
 // Deprecated: use Score with WithMethod("ds").
 func DoublyStochasticScores(g *Graph) (*Scores, error) {
-	return backbone.NewDoublyStochastic().Scores(g)
+	return ScoreContext(context.Background(), g, WithMethod("ds"))
 }
 
 // DoublyStochasticBackbone runs Slater's full two-stage algorithm:
@@ -150,7 +172,7 @@ func DoublyStochasticScores(g *Graph) (*Scores, error) {
 //
 // Deprecated: use Backbone with WithMethod("ds").
 func DoublyStochasticBackbone(g *Graph) (*Graph, error) {
-	return backbone.NewDoublyStochastic().Extract(g)
+	return backboneOf(g, WithMethod("ds"))
 }
 
 // MaximumSpanningTree extracts the maximum spanning forest (Kruskal).
@@ -158,20 +180,22 @@ func DoublyStochasticBackbone(g *Graph) (*Graph, error) {
 //
 // Deprecated: use Backbone with WithMethod("mst").
 func MaximumSpanningTree(g *Graph) (*Graph, error) {
-	return backbone.NewMST().Extract(g)
+	return backboneOf(g, WithMethod("mst"))
 }
 
 // NaiveScores scores edges by raw weight, so thresholding reproduces
 // the classic "drop light edges" filter.
 //
 // Deprecated: use Score with WithMethod("nt").
-func NaiveScores(g *Graph) (*Scores, error) { return backbone.NewNaive().Scores(g) }
+func NaiveScores(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("nt"))
+}
 
 // NaiveBackbone keeps edges with weight strictly above the threshold.
 //
 // Deprecated: use Backbone with WithMethod("nt") and WithWeightThreshold.
 func NaiveBackbone(g *Graph, threshold float64) (*Graph, error) {
-	return backbone.NewNaive().Backbone(g, threshold)
+	return backboneOf(g, WithMethod("nt"), WithWeightThreshold(threshold))
 }
 
 // DeltaToPValue converts an NC δ threshold to the one-tailed p-value
@@ -186,21 +210,25 @@ func PValueToDelta(p float64) float64 { return core.PValueToDelta(p) }
 // yields the k-core.
 //
 // Deprecated: use Score with WithMethod("kcore").
-func KCoreScores(g *Graph) (*Scores, error) { return backbone.NewKCore().Scores(g) }
+func KCoreScores(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("kcore"))
+}
 
 // KCoreBackbone keeps the edges of the k-core: both endpoints survive
 // recursive removal of nodes with degree below k.
 //
 // Deprecated: use Backbone with WithMethod("kcore") and WithK.
 func KCoreBackbone(g *Graph, k int) (*Graph, error) {
-	return backbone.NewKCore().Backbone(g, k)
+	return backboneOf(g, WithMethod("kcore"), WithK(k))
 }
 
 // NCScoresParallel is NCScores computed on all CPUs; results are
 // bit-identical to the serial scorer.
 //
 // Deprecated: use Score with WithMethod("nc") and WithParallel.
-func NCScoresParallel(g *Graph) (*Scores, error) { return core.NewParallel().Scores(g) }
+func NCScoresParallel(g *Graph) (*Scores, error) {
+	return ScoreContext(context.Background(), g, WithMethod("nc"), WithParallel())
+}
 
 // Comparison is a two-sample z-test between two edges' NC scores.
 type Comparison = core.Comparison

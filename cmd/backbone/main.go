@@ -18,9 +18,13 @@
 // that the selected method does not declare are rejected rather than
 // silently ignored.
 //
-// The input is "src,dst,weight" lines (comma, tab or space separated;
-// '#' comments and a header row are skipped). The backbone is written
-// as CSV to -o (default stdout), and a summary goes to stderr.
+// The input is an edge list in any registered graph format — csv
+// (comma, tab or space separated; '#' comments and a header row are
+// skipped), tsv, or ndjson — optionally gzip-compressed; the format is
+// sniffed from the content unless -format names one. The backbone is
+// written to -o (default stdout) in the -outformat encoding (default:
+// inferred from the -o extension, else csv), and a summary goes to
+// stderr.
 package main
 
 import (
@@ -67,6 +71,8 @@ type app struct {
 	frac     *float64
 	parallel *bool
 	out      *string
+	format   *string
+	outfmt   *string
 	list     *bool
 	// paramFlags maps parameter name -> parsed value holder; integer
 	// parameters get their own holder so -k renders and parses as int.
@@ -86,6 +92,8 @@ func newApp() *app {
 	a.frac = a.fs.Float64("frac", 0, "keep this share (0..1] of top-ranked edges")
 	a.parallel = a.fs.Bool("parallel", false, "use the method's multi-core scorer when available")
 	a.out = a.fs.String("o", "", "output file (default stdout)")
+	a.format = a.fs.String("format", "", "input format: "+strings.Join(formatNames(), ", ")+" (default: sniffed from content)")
+	a.outfmt = a.fs.String("outformat", "", "output format (default: inferred from the -o extension, else csv)")
 	a.list = a.fs.Bool("list", false, "list registered methods and their parameters, then exit")
 
 	// Generate one flag per distinct parameter name across all
@@ -122,6 +130,15 @@ func newApp() *app {
 		fmt.Fprint(w, methodList())
 	}
 	return a
+}
+
+// formatNames returns the registered graph I/O format names.
+func formatNames() []string {
+	var names []string
+	for _, f := range repro.Formats() {
+		names = append(names, f.Name)
+	}
+	return names
 }
 
 // methodNames returns the registered method names in registry order.
@@ -237,7 +254,11 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 		defer f.Close()
 		in = f
 	}
-	g, err := repro.ReadCSV(in, *a.directed)
+	readOpts := []repro.IOOption{repro.WithDirected(*a.directed)}
+	if *a.format != "" {
+		readOpts = append(readOpts, repro.WithFormat(*a.format))
+	}
+	g, err := repro.ReadGraph(in, readOpts...)
 	if err != nil {
 		return err
 	}
@@ -256,7 +277,23 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 		defer f.Close()
 		w = f
 	}
-	if err := res.Backbone.WriteCSV(w); err != nil {
+	var writeOpts []repro.IOOption
+	switch {
+	case *a.outfmt != "":
+		writeOpts = append(writeOpts, repro.WithFormat(*a.outfmt))
+	case *a.out != "":
+		// Infer the encoding from the output path when it names a
+		// registered extension; plain csv otherwise.
+		if _, err := repro.LookupFormat(*a.out); err == nil {
+			writeOpts = append(writeOpts, repro.WithFormat(*a.out))
+		}
+	}
+	// Compress when either the output path or the explicit format asks
+	// for it (-o out.csv.gz, -outformat csv.gz).
+	if strings.HasSuffix(*a.out, ".gz") || strings.HasSuffix(*a.outfmt, ".gz") {
+		writeOpts = append(writeOpts, repro.WithGzip())
+	}
+	if err := repro.WriteGraph(w, res.Backbone, writeOpts...); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "input: %d nodes, %d edges; %s backbone: %d edges, %d non-isolated nodes (node coverage %.1f%%) in %v\n",

@@ -1,0 +1,90 @@
+// Command backboned serves the backboning method registry over HTTP:
+// network backboning as a service for clients that hold the edge lists.
+//
+// Usage:
+//
+//	backboned [-addr :8080] [-workers N] [-timeout 60s] [-max-body 256MiB]
+//
+// Endpoints:
+//
+//	GET  /methods    registered methods and parameter schemas as JSON
+//	GET  /formats    registered edge-list formats as JSON
+//	GET  /healthz    liveness probe
+//	POST /backbone   extract a backbone from the request body's edge list
+//	POST /score      per-edge significance table for the body's edge list
+//
+// The POST body is an edge list in any registered format (csv, tsv,
+// ndjson; gzip accepted; format sniffed from content unless ?format=
+// or the Content-Type says otherwise), or a JSON envelope carrying
+// method, params and edges together. Method selection, parameters and
+// pruning ride in the query string:
+//
+//	curl -s localhost:8080/methods | jq .
+//	curl -s --data-binary @edges.csv 'localhost:8080/backbone?method=nc&delta=2.32'
+//	curl -s --data-binary @edges.ndjson 'localhost:8080/backbone?method=df&top=500&outformat=ndjson'
+//	curl -s --data-binary @edges.csv 'localhost:8080/score?method=nc&response=json' | jq .
+//
+// Scoring runs inside a bounded worker pool (-workers slots; excess
+// requests queue until a slot frees or their context expires) under a
+// per-request timeout (-timeout), and request cancellation propagates
+// into the scoring loops via the context-aware pipeline: a disconnected
+// client stops in-flight work within one checkpoint range. SIGINT and
+// SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent scoring requests")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		maxBody = flag.Int64("max-body", 256<<20, "maximum request body size in bytes")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "backboned: ", log.LstdFlags)
+	s := newServer(*workers, *timeout, *maxBody, logger.Printf)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers, %v timeout)", *addr, *workers, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "backboned: bye")
+	}
+}

@@ -1,0 +1,533 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// statusClientClosedRequest is the nginx-convention status logged when
+// the client went away before the pipeline finished.
+const statusClientClosedRequest = 499
+
+// server is the backboned HTTP front end: a mux over the method
+// registry plus the shared run controls every request goes through —
+// the bounded worker pool, the per-request timeout, and the typed-error
+// to status-code mapping.
+type server struct {
+	mux     *http.ServeMux
+	sem     chan struct{} // bounded worker pool for scoring requests
+	timeout time.Duration // per-request wall clock budget
+	maxBody int64
+	logf    func(format string, args ...any)
+	// onError observes every request failure after status mapping; a
+	// test hook, nil outside tests.
+	onError func(status int, err error)
+}
+
+func newServer(workers int, timeout time.Duration, maxBody int64, logf func(string, ...any)) *server {
+	if workers < 1 {
+		workers = 1
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &server{
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, workers),
+		timeout: timeout,
+		maxBody: maxBody,
+		logf:    logf,
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/methods", s.handleMethods)
+	s.mux.HandleFunc("/formats", s.handleFormats)
+	s.mux.HandleFunc("/backbone", s.handleRun)
+	s.mux.HandleFunc("/score", s.handleRun)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// fail writes a JSON error body with the status implied by the error's
+// type and notifies the test hook.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	if s.onError != nil {
+		s.onError(status, err)
+	}
+	s.logf("error: %d %v", status, err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// statusFor maps pipeline errors onto HTTP statuses: the exported
+// sentinel/typed errors are caller mistakes (400), context expiry is a
+// timeout (504), a vanished client is 499, anything else is a 500.
+func statusFor(err error) int {
+	var pe *repro.ParamError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, repro.ErrUnknownMethod),
+		errors.Is(err, repro.ErrUnknownParam),
+		errors.Is(err, repro.ErrNoScorer),
+		errors.Is(err, repro.ErrUnknownFormat),
+		errors.Is(err, repro.ErrLineTooLong),
+		errors.As(err, &pe):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `backboned — network backboning as a service
+
+GET  /methods            registered methods and their parameter schemas (JSON)
+GET  /formats            registered edge-list formats (JSON)
+GET  /healthz            liveness probe
+POST /backbone           extract a backbone from the edge list in the body
+POST /score              per-edge significance table for the body's edge list
+
+Query parameters for POST: method (default nc), any method parameter
+(delta, alpha, ...), top, frac, parallel, directed, format (input),
+outformat (csv|tsv|ndjson), response=json. The body is an edge list in
+any registered format (gzip accepted, format sniffed), or a JSON
+envelope {"method":..., "params":{...}, "edges":[{"src":..,"dst":..,"weight":..}]}.
+`)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// paramJSON / methodJSON are the wire form of the registry schema.
+type paramJSON struct {
+	Name    string  `json:"name"`
+	Default float64 `json:"default"`
+	Integer bool    `json:"integer,omitempty"`
+	Desc    string  `json:"desc"`
+}
+
+type methodJSON struct {
+	Name      string      `json:"name"`
+	Title     string      `json:"title"`
+	Desc      string      `json:"desc"`
+	Params    []paramJSON `json:"params"`
+	CanScore  bool        `json:"can_score"`
+	FixedSize bool        `json:"fixed_size,omitempty"`
+	Parallel  bool        `json:"parallel,omitempty"`
+}
+
+func (s *server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	var out []methodJSON
+	for _, m := range repro.Methods() {
+		mj := methodJSON{
+			Name:      m.Name,
+			Title:     m.Title,
+			Desc:      m.Desc,
+			Params:    []paramJSON{},
+			CanScore:  m.CanScore(),
+			FixedSize: m.FixedSize,
+			Parallel:  m.ParallelScorer != nil,
+		}
+		for _, p := range m.Params {
+			mj.Params = append(mj.Params, paramJSON{Name: p.Name, Default: p.Default, Integer: p.Integer, Desc: p.Desc})
+		}
+		out = append(out, mj)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+type formatJSON struct {
+	Name    string   `json:"name"`
+	Exts    []string `json:"exts"`
+	Desc    string   `json:"desc"`
+	Sniffed bool     `json:"sniffed"`
+}
+
+func (s *server) handleFormats(w http.ResponseWriter, r *http.Request) {
+	var out []formatJSON
+	for _, f := range repro.Formats() {
+		out = append(out, formatJSON{Name: f.Name, Exts: f.Exts, Desc: f.Desc, Sniffed: f.Sniff != nil})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// runRequest is a parsed /backbone or /score request: the input graph
+// plus the pipeline options and response shaping derived from query
+// parameters and (optionally) the JSON envelope.
+type runRequest struct {
+	g         *repro.Graph
+	opts      []repro.Option
+	outFormat string
+	asJSON    bool
+}
+
+// queryReserved are the query keys with fixed meanings; every other
+// key must name a parameter of the selected method.
+var queryReserved = map[string]bool{
+	"method": true, "top": true, "frac": true, "parallel": true,
+	"directed": true, "format": true, "outformat": true, "response": true,
+}
+
+// envelope is the JSON request body alternative to a raw edge list.
+// Query parameters override envelope fields.
+type envelope struct {
+	Method   string             `json:"method"`
+	Params   map[string]float64 `json:"params"`
+	Top      *int               `json:"top"`
+	Frac     *float64           `json:"frac"`
+	Parallel bool               `json:"parallel"`
+	Directed bool               `json:"directed"`
+	Edges    []envelopeEdge     `json:"edges"`
+}
+
+type envelopeEdge struct {
+	Src    any      `json:"src"`
+	Dst    any      `json:"dst"`
+	Weight *float64 `json:"weight"`
+}
+
+// contentTypeFormat maps common edge-list content types to registered
+// format names; empty means sniff.
+func contentTypeFormat(ct string) string {
+	switch ct {
+	case "text/csv":
+		return "csv"
+	case "text/tab-separated-values":
+		return "tsv"
+	case "application/x-ndjson", "application/ndjson", "application/jsonl":
+		return "ndjson"
+	}
+	return ""
+}
+
+// parseRun turns the HTTP request into a runRequest. The int return is
+// the HTTP status to use when err != nil.
+func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
+	q := r.URL.Query()
+	req := &runRequest{}
+
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+
+	var env *envelope
+	if ct == "application/json" {
+		dec := json.NewDecoder(r.Body)
+		dec.UseNumber()
+		env = &envelope{}
+		if err := dec.Decode(env); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad JSON envelope: %v", err)
+		}
+		if len(env.Edges) == 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("JSON envelope has no edges")
+		}
+		directed := env.Directed
+		if v := q.Get("directed"); v != "" {
+			directed = v == "true" || v == "1"
+		}
+		b := repro.NewBuilder(directed)
+		for i, e := range env.Edges {
+			src, err := graph.JSONLabel(e.Src)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d].src: %v", i, err)
+			}
+			dst, err := graph.JSONLabel(e.Dst)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d].dst: %v", i, err)
+			}
+			if e.Weight == nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d]: missing weight", i)
+			}
+			if err := b.AddEdgeLabels(src, dst, *e.Weight); err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d]: %v", i, err)
+			}
+		}
+		req.g = b.Build()
+	} else {
+		inFormat := q.Get("format")
+		if inFormat == "" {
+			inFormat = contentTypeFormat(ct)
+		}
+		readOpts := []repro.IOOption{
+			repro.WithDirected(q.Get("directed") == "true" || q.Get("directed") == "1"),
+		}
+		if inFormat != "" {
+			f, err := repro.LookupFormat(inFormat)
+			if err != nil {
+				return nil, http.StatusBadRequest, err
+			}
+			req.outFormat = f.Name // default response format mirrors input
+			readOpts = append(readOpts, repro.WithFormat(f.Name))
+		}
+		g, err := repro.ReadGraph(r.Body, readOpts...)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad edge list: %w", err)
+		}
+		req.g = g
+	}
+
+	// Method selection and parameters: query overrides envelope.
+	methodName := "nc"
+	if env != nil && env.Method != "" {
+		methodName = env.Method
+	}
+	if v := q.Get("method"); v != "" {
+		methodName = v
+	}
+	m, err := repro.LookupMethod(methodName)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	req.opts = append(req.opts, repro.WithMethod(m.Name))
+	if env != nil {
+		for name, v := range env.Params {
+			req.opts = append(req.opts, repro.WithParam(name, v))
+		}
+		if env.Top != nil {
+			req.opts = append(req.opts, repro.WithTopK(*env.Top))
+		}
+		if env.Frac != nil {
+			req.opts = append(req.opts, repro.WithTopFraction(*env.Frac))
+		}
+		if env.Parallel {
+			req.opts = append(req.opts, repro.WithParallel())
+		}
+	}
+	for name, vals := range q {
+		if queryReserved[name] {
+			continue
+		}
+		if _, ok := m.Param(name); !ok {
+			return nil, http.StatusBadRequest, &repro.ParamError{
+				Method: m.Name, Param: name,
+				Reason: "unknown query parameter",
+				Err:    repro.ErrUnknownParam,
+			}
+		}
+		v, err := strconv.ParseFloat(vals[0], 64)
+		if err != nil {
+			return nil, http.StatusBadRequest, &repro.ParamError{
+				Method: m.Name, Param: name,
+				Reason: fmt.Sprintf("not a number: %q", vals[0]),
+			}
+		}
+		req.opts = append(req.opts, repro.WithParam(name, v))
+	}
+	if v := q.Get("top"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)}
+		}
+		req.opts = append(req.opts, repro.WithTopK(k))
+	}
+	if v := q.Get("frac"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)}
+		}
+		req.opts = append(req.opts, repro.WithTopFraction(f))
+	}
+	if v := q.Get("parallel"); v == "true" || v == "1" {
+		req.opts = append(req.opts, repro.WithParallel())
+	}
+
+	// Response shaping.
+	if v := q.Get("outformat"); v != "" {
+		f, err := repro.LookupFormat(v)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		req.outFormat = f.Name
+	}
+	if req.outFormat == "" {
+		req.outFormat = "csv"
+	}
+	if q.Get("response") == "json" || strings.Contains(r.Header.Get("Accept"), "application/json") {
+		req.asJSON = true
+	}
+	return req, 0, nil
+}
+
+// handleRun serves POST /backbone and POST /score: per-request
+// timeout, parse, admission into the bounded worker pool, pipeline,
+// respond. Parsing happens before admission — it is I/O-bound and must
+// drain the request body so the connection's background read can
+// detect a vanished client while the request queues for a slot; the
+// pool bounds only the CPU-bound scoring.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	req, status, err := s.parseRun(r)
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+
+	// Bounded worker pool: a saturated pool makes callers queue until a
+	// slot frees or their request context gives up.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("worker pool saturated: %v", ctx.Err()))
+		return
+	}
+
+	scoreOnly := strings.HasPrefix(r.URL.Path, "/score")
+	if scoreOnly {
+		scores, err := repro.ScoreContext(ctx, req.g, req.opts...)
+		if err != nil {
+			s.fail(w, statusFor(err), err)
+			return
+		}
+		s.writeScores(w, req, scores)
+		return
+	}
+	res, err := repro.BackboneContext(ctx, req.g, req.opts...)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.writeBackbone(w, req, res)
+}
+
+// responseContentType maps a registered format name to its media type.
+func responseContentType(format string) string {
+	switch format {
+	case "csv":
+		return "text/csv; charset=utf-8"
+	case "tsv":
+		return "text/tab-separated-values; charset=utf-8"
+	case "ndjson":
+		return "application/x-ndjson"
+	}
+	return "text/plain; charset=utf-8"
+}
+
+// edgeJSON is one backbone edge in JSON responses.
+type edgeJSON struct {
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Weight float64 `json:"weight"`
+	Score  float64 `json:"score,omitempty"`
+}
+
+// graphEdges flattens a graph's canonical edges into wire form.
+func graphEdges(g *repro.Graph) []edgeJSON {
+	out := make([]edgeJSON, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		out = append(out, edgeJSON{Src: g.LabelOrID(int(e.Src)), Dst: g.LabelOrID(int(e.Dst)), Weight: e.Weight})
+	}
+	return out
+}
+
+func (s *server) writeBackbone(w http.ResponseWriter, req *runRequest, res *repro.Result) {
+	params, _ := json.Marshal(res.Params)
+	w.Header().Set("X-Backbone-Method", res.Method)
+	w.Header().Set("X-Backbone-Params", string(params))
+	w.Header().Set("X-Backbone-Edges", strconv.Itoa(res.Backbone.NumEdges()))
+	w.Header().Set("X-Backbone-Duration-Ms", strconv.FormatInt(res.Duration.Milliseconds(), 10))
+	if req.asJSON {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"method":        res.Method,
+			"title":         res.Title,
+			"params":        res.Params,
+			"input_nodes":   req.g.NumNodes(),
+			"input_edges":   req.g.NumEdges(),
+			"nodes":         res.Backbone.NumConnected(),
+			"edges":         len(res.Backbone.Edges()),
+			"node_coverage": res.NodeCoverage,
+			"edge_coverage": res.EdgeCoverage,
+			"duration_ms":   res.Duration.Milliseconds(),
+			"backbone":      graphEdges(res.Backbone),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", responseContentType(req.outFormat))
+	if err := repro.WriteGraph(w, res.Backbone, repro.WithFormat(req.outFormat)); err != nil {
+		s.logf("write response: %v", err)
+	}
+}
+
+func (s *server) writeScores(w http.ResponseWriter, req *runRequest, scores *repro.Scores) {
+	g := scores.G
+	edges := g.Edges()
+	w.Header().Set("X-Backbone-Method", scores.Method)
+	w.Header().Set("X-Backbone-Edges", strconv.Itoa(len(edges)))
+	if req.asJSON {
+		rows := make([]edgeJSON, 0, len(edges))
+		for i, e := range edges {
+			rows = append(rows, edgeJSON{
+				Src: g.LabelOrID(int(e.Src)), Dst: g.LabelOrID(int(e.Dst)),
+				Weight: e.Weight, Score: scores.Score[i],
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"method": scores.Method, "scores": rows})
+		return
+	}
+	w.Header().Set("Content-Type", responseContentType(req.outFormat))
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	switch req.outFormat {
+	case "ndjson":
+		enc := json.NewEncoder(bw)
+		for i, e := range edges {
+			enc.Encode(edgeJSON{
+				Src: g.LabelOrID(int(e.Src)), Dst: g.LabelOrID(int(e.Dst)),
+				Weight: e.Weight, Score: scores.Score[i],
+			})
+		}
+	default:
+		sep := ","
+		if req.outFormat == "tsv" {
+			sep = "\t"
+		}
+		fmt.Fprintf(bw, "src%sdst%sweight%sscore\n", sep, sep, sep)
+		for i, e := range edges {
+			fmt.Fprintf(bw, "%s%s%s%s%s%s%s\n",
+				g.LabelOrID(int(e.Src)), sep, g.LabelOrID(int(e.Dst)), sep,
+				strconv.FormatFloat(e.Weight, 'g', -1, 64), sep,
+				strconv.FormatFloat(scores.Score[i], 'g', -1, 64))
+		}
+	}
+}

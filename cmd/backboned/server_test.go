@@ -1,0 +1,421 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/filter"
+	"repro/internal/graph"
+)
+
+// slowScorer is a deliberately slow RangeScorer: every scored range
+// sleeps, so a few thousand edges take seconds and cancellation can be
+// observed deterministically mid-run.
+type slowScorer struct{ delay time.Duration }
+
+func (s slowScorer) Name() string { return "slowtest" }
+
+func (s slowScorer) NewTable(g *graph.Graph) (*filter.Scores, error) {
+	return &filter.Scores{G: g, Score: make([]float64, g.NumEdges()), Method: "slowtest"}, nil
+}
+
+func (s slowScorer) ScoreEdges(sc *filter.Scores, lo, hi int) {
+	time.Sleep(s.delay)
+	for i := lo; i < hi; i++ {
+		sc.Score[i] = sc.G.Edge(i).Weight
+	}
+}
+
+func (s slowScorer) Scores(g *graph.Graph) (*filter.Scores, error) { return filter.Serial(s, g) }
+
+func TestMain(m *testing.M) {
+	// Shrink the checkpoint so cancellation tests observe worker
+	// checkpoints on small graphs, and register the slow method.
+	filter.Checkpoint = 8
+	filter.MustRegister(&filter.Method{
+		Name:   "slowtest",
+		Title:  "Slow Test Method",
+		Desc:   "test-only scorer that sleeps per checkpoint range",
+		Order:  999,
+		Scorer: slowScorer{delay: 10 * time.Millisecond},
+		Cut:    func(filter.Params) float64 { return 0 },
+	})
+	os.Exit(m.Run())
+}
+
+// testGraph builds a reproducible random graph with m edges.
+func testGraph(t testing.TB, m int) *repro.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	n := m/4 + 2
+	b := repro.NewBuilder(false)
+	for added := 0; added < m; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if err := b.AddEdgeLabels(fmt.Sprintf("n%d", u), fmt.Sprintf("n%d", v), 1+rng.Float64()*20); err != nil {
+			t.Fatal(err)
+		}
+		added++
+	}
+	return b.Build()
+}
+
+func encodeGraph(t testing.TB, g *repro.Graph, format string) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := repro.WriteGraph(&buf, g, repro.WithFormat(format)); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func newTestServer(t testing.TB, workers int, timeout time.Duration) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(workers, timeout, 1<<24, t.Logf)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestMethodsEndpoint: GET /methods serves the registry schema.
+func TestMethodsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	resp, err := http.Get(ts.URL + "/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var methods []methodJSON
+	if err := json.NewDecoder(resp.Body).Decode(&methods); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]methodJSON{}
+	for _, m := range methods {
+		byName[m.Name] = m
+	}
+	nc, ok := byName["nc"]
+	if !ok {
+		t.Fatalf("nc missing from %v", methods)
+	}
+	if !nc.CanScore || !nc.Parallel || len(nc.Params) != 1 || nc.Params[0].Name != "delta" {
+		t.Errorf("nc schema wrong: %+v", nc)
+	}
+	if mst := byName["mst"]; mst.CanScore || !mst.FixedSize {
+		t.Errorf("mst schema wrong: %+v", byName["mst"])
+	}
+}
+
+// TestBackboneEndToEndNDJSON: POST an ndjson edge list, get the same
+// backbone the library computes, as ndjson.
+func TestBackboneEndToEndNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	g := testGraph(t, 400)
+	want, err := repro.Backbone(g, repro.WithMethod("nt"), repro.WithWeightThreshold(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := encodeGraph(t, g, "ndjson")
+	resp, err := http.Post(ts.URL+"/backbone?method=nt&threshold=15&outformat=ndjson", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if got := resp.Header.Get("X-Backbone-Method"); got != "nt" {
+		t.Errorf("X-Backbone-Method = %q", got)
+	}
+	got, err := repro.ReadGraph(resp.Body, repro.WithFormat("ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != want.Backbone.NumEdges() {
+		t.Errorf("backbone has %d edges, want %d", got.NumEdges(), want.Backbone.NumEdges())
+	}
+	if got.NumEdges() == 0 || got.NumEdges() == g.NumEdges() {
+		t.Errorf("degenerate backbone: %d of %d edges", got.NumEdges(), g.NumEdges())
+	}
+}
+
+// TestBackboneJSONResponseAndEnvelope: the JSON envelope carries
+// method+params+edges; response=json returns the metadata document.
+func TestBackboneJSONResponseAndEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	env := map[string]any{
+		"method": "df",
+		"params": map[string]float64{"alpha": 0.2},
+		"edges": []map[string]any{
+			{"src": "a", "dst": "b", "weight": 30},
+			{"src": "a", "dst": "c", "weight": 1},
+			{"src": "b", "dst": "c", "weight": 25},
+			{"src": 7, "dst": "b", "weight": 2},
+		},
+	}
+	body, _ := json.Marshal(env)
+	resp, err := http.Post(ts.URL+"/backbone?response=json", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out struct {
+		Method     string             `json:"method"`
+		Params     map[string]float64 `json:"params"`
+		InputEdges int                `json:"input_edges"`
+		Backbone   []edgeJSON         `json:"backbone"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != "df" || out.Params["alpha"] != 0.2 || out.InputEdges != 4 {
+		t.Errorf("unexpected response: %+v", out)
+	}
+}
+
+// TestScoreEndpoint: POST /score returns the per-edge table with a
+// score column.
+func TestScoreEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	g := testGraph(t, 100)
+	resp, err := http.Post(ts.URL+"/score?method=nc&response=json", "text/csv", encodeGraph(t, g, "csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out struct {
+		Method string     `json:"method"`
+		Scores []edgeJSON `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != "nc" || len(out.Scores) != g.NumEdges() {
+		t.Errorf("got %d scores from %q, want %d from nc", len(out.Scores), out.Method, g.NumEdges())
+	}
+}
+
+// TestBadRequests: caller mistakes map to 400 with a JSON error body.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	edgeList := "a,b,1\nb,c,2\n"
+	cases := []struct {
+		name, url, body, ct string
+	}{
+		{"unknown method", "/backbone?method=bogus", edgeList, "text/csv"},
+		{"unknown param", "/backbone?method=nc&alpha=0.1", edgeList, "text/csv"},
+		{"bad param value", "/backbone?method=nc&delta=abc", edgeList, "text/csv"},
+		{"topk on mst", "/backbone?method=mst&top=5", edgeList, "text/csv"},
+		{"unknown format", "/backbone?format=parquet", edgeList, "text/csv"},
+		{"unknown outformat", "/backbone?outformat=parquet", edgeList, "text/csv"},
+		{"score on mst", "/score?method=mst", edgeList, "text/csv"},
+		{"malformed body", "/backbone", "a,b\n", "text/csv"},
+		{"empty envelope", "/backbone", "{}", "application/json"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+c.url, c.ct, strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				msg, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, msg)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+				t.Errorf("error body not JSON: %v %v", e, err)
+			}
+		})
+	}
+	if resp, err := http.Get(ts.URL + "/backbone"); err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /backbone: status %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestCancellationStopsScoring: a client that disconnects
+// mid-run cancels the request context, and the in-flight scoring loop
+// observes context.Canceled at its next checkpoint — long before the
+// full (deliberately slow) run would have completed.
+func TestRequestCancellationStopsScoring(t *testing.T) {
+	s, ts := newTestServer(t, 2, time.Minute)
+	errc := make(chan error, 8)
+	s.onError = func(status int, err error) {
+		if status == statusClientClosedRequest {
+			errc <- err
+		}
+	}
+	// 4096 edges at checkpoint 8 and 10ms per range = ~5s of scoring.
+	g := testGraph(t, 4096)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/backbone?method=slowtest", encodeGraph(t, g, "csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	time.Sleep(150 * time.Millisecond) // let scoring start
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("handler error = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("cancellation took %v to reach the scoring loop", elapsed)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("handler never observed the cancelled request context")
+	}
+	<-done
+}
+
+// TestRequestTimeout504: the per-request timeout expires mid-run and
+// maps to 504 Gateway Timeout.
+func TestRequestTimeout504(t *testing.T) {
+	_, ts := newTestServer(t, 2, 200*time.Millisecond)
+	g := testGraph(t, 4096)
+	resp, err := http.Post(ts.URL+"/backbone?method=slowtest", "text/csv", encodeGraph(t, g, "csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestWorkerPoolSaturation: with the only worker slot occupied by a
+// slow run, a second request gives up waiting for admission when its
+// context expires, and the server records 503 for it.
+func TestWorkerPoolSaturation(t *testing.T) {
+	s, ts := newTestServer(t, 1, 2*time.Second)
+	saturated := make(chan struct{}, 8)
+	s.onError = func(status int, err error) {
+		if status == http.StatusServiceUnavailable {
+			saturated <- struct{}{}
+		}
+	}
+	g := testGraph(t, 4096) // ~5s of slowtest scoring, capped by the 2s timeout
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/backbone?method=slowtest", "text/csv", encodeGraph(t, g, "csv"))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(200 * time.Millisecond) // first request holds the only slot
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/backbone?method=nt", strings.NewReader("a,b,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		// The client may still read the 503 before its deadline fires.
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("status %d, want 503", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	select {
+	case <-saturated:
+	case <-time.After(2 * time.Second):
+		t.Error("server never recorded a 503 for the queued request")
+	}
+	wg.Wait()
+}
+
+// TestConcurrentRequests hammers the bounded pool from many clients at
+// once — the race-enabled CI job runs this to shake out data races in
+// the worker pool and the shared registry.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := newTestServer(t, 4, 10*time.Second)
+	g := testGraph(t, 800)
+	want, err := repro.Backbone(g, repro.WithMethod("nc"), repro.WithTopK(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			method := []string{"nc", "df", "nt"}[i%3]
+			url := fmt.Sprintf("%s/backbone?method=%s&top=100&parallel=1", ts.URL, method)
+			resp, err := http.Post(url, "text/csv", encodeGraph(t, g, "csv"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, msg)
+				return
+			}
+			bb, err := repro.ReadGraph(resp.Body)
+			if err != nil {
+				errs <- fmt.Errorf("request %d: parse response: %v", i, err)
+				return
+			}
+			if bb.NumEdges() != want.Backbone.NumEdges() {
+				errs <- fmt.Errorf("request %d (%s): %d edges, want %d", i, method, bb.NumEdges(), want.Backbone.NumEdges())
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

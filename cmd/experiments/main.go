@@ -9,14 +9,16 @@
 // where artifact is one or more of: fig1 fig2 fig3 fig4 fig5 fig6 fig7
 // fig8 fig9 table1 table2 casestudy ablation methods all. The
 // "methods" artifact prints the central registry's method table (the
-// algorithms and defaults every comparison uses). The country-network
-// experiments share one synthetic world, controlled by -seed,
-// -countries and -years.
+// algorithms and defaults every comparison uses) and "formats" the
+// graph I/O format table. Output goes to stdout or the -o file. The
+// country-network experiments share one synthetic world, controlled by
+// -seed, -countries and -years.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -31,12 +33,23 @@ func main() {
 		countries = flag.Int("countries", 120, "number of synthetic countries")
 		years     = flag.Int("years", 4, "observation years per network")
 		fullScale = flag.Bool("full", false, "paper-scale settings (slower)")
+		outPath   = flag.String("o", "", "write artifact output to this file (default stdout)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|...|fig9|table1|table2|casestudy|ablation|noise|changes|methods|all")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|...|fig9|table1|table2|casestudy|ablation|noise|changes|methods|formats|all")
 		os.Exit(2)
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
 	}
 	cfg := world.Config{Seed: *seed, Countries: *countries, Years: *years, Products: 400}
 	if *fullScale {
@@ -74,7 +87,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("fig2", func() error {
@@ -87,7 +100,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(r.Render())
+			fmt.Fprintln(out, r.Render())
 		}
 		return nil
 	})
@@ -96,7 +109,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(exp.Fig3Table(rows).Render())
+		fmt.Fprintln(out, exp.Fig3Table(rows).Render())
 		return nil
 	})
 	run("fig4", func() error {
@@ -105,15 +118,15 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("fig5", func() error {
-		fmt.Println(exp.Fig5(country).Table().Render())
+		fmt.Fprintln(out, exp.Fig5(country).Table().Render())
 		return nil
 	})
 	run("fig6", func() error {
-		fmt.Println(exp.Fig6(country).Table().Render())
+		fmt.Fprintln(out, exp.Fig6(country).Table().Render())
 		return nil
 	})
 	run("fig7", func() error {
@@ -121,7 +134,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("fig8", func() error {
@@ -129,7 +142,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("fig9", func() error {
@@ -141,7 +154,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("table1", func() error {
@@ -149,7 +162,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("table2", func() error {
@@ -157,7 +170,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("casestudy", func() error {
@@ -165,7 +178,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("noise", func() error {
@@ -173,7 +186,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
 		return nil
 	})
 	run("changes", func() error {
@@ -186,7 +199,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(r.Table().Render())
+			fmt.Fprintln(out, r.Table().Render())
 		}
 		return nil
 	})
@@ -195,14 +208,20 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Table().Render())
+		fmt.Fprintln(out, r.Table().Render())
+		return nil
+	})
+	run("formats", func() error {
+		// The I/O formats every command accepts; generated from the
+		// graph format registry, like the README's table.
+		fmt.Fprint(out, repro.FormatsTable())
 		return nil
 	})
 	run("methods", func() error {
 		// The comparison methods come from the central registry; this
 		// artifact documents exactly which algorithms and defaults the
 		// tables above were produced with.
-		fmt.Print(repro.MethodsTable())
+		fmt.Fprint(out, repro.MethodsTable())
 		return nil
 	})
 }

@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// A backboning run under a deadline: the context bounds scoring, and
+// cancelling it mid-run returns ctx.Err() instead of a Result.
+func ExampleBackboneContext() {
+	b := repro.NewBuilder(false)
+	for _, e := range []struct {
+		src, dst string
+		w        float64
+	}{
+		{"a", "b", 120}, {"b", "c", 95}, {"a", "c", 110},
+		{"a", "d", 2}, {"b", "d", 1}, {"c", "d", 3},
+	} {
+		if err := b.AddEdgeLabels(e.src, e.dst, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := repro.BackboneContext(ctx, g,
+		repro.WithMethod("nc"), repro.WithDelta(1.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s backbone: %d of %d edges\n", res.Method, res.Backbone.NumEdges(), g.NumEdges())
+	// Output:
+	// nc backbone: 4 of 6 edges
+}
+
+// ReadGraph sniffs the encoding — ndjson here — and WriteGraph
+// round-trips it into any registered format.
+func ExampleReadGraph() {
+	in := `{"src": "rome", "dst": "paris", "weight": 55}
+{"src": "rome", "dst": "milan", "weight": 43.5}
+{"src": "paris", "dst": "lyon", "weight": 12}
+`
+	g, err := repro.ReadGraph(strings.NewReader(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g)
+
+	var out strings.Builder
+	if err := repro.WriteGraph(&out, g, repro.WithFormat("tsv")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out.String())
+	// Output:
+	// graph{undirected, 4 nodes, 3 edges, total weight 221}
+	// src	dst	weight
+	// rome	paris	55
+	// rome	milan	43.5
+	// paris	lyon	12
+}

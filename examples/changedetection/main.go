@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -100,11 +101,12 @@ func main() {
 
 	// The backbones themselves barely move between observations: the
 	// structure is stable, only the planted pair's significance shifts.
-	rb, err := repro.Backbone(before, repro.WithDelta(2.32))
+	ctx := context.Background()
+	rb, err := repro.BackboneContext(ctx, before, repro.WithDelta(2.32))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ra, err := repro.Backbone(after, repro.WithDelta(2.32))
+	ra, err := repro.BackboneContext(ctx, after, repro.WithDelta(2.32))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,13 +31,14 @@ func main() {
 		d.NumOccupations(), g.NumEdges(), 100*density)
 	fmt.Println("generic skills make the raw network a hairball — almost everything connects.")
 
-	resNC, err := repro.Backbone(g, repro.WithMethod("nc"), repro.WithDelta(2.32))
+	ctx := context.Background()
+	resNC, err := repro.BackboneContext(ctx, g, repro.WithMethod("nc"), repro.WithDelta(2.32))
 	if err != nil {
 		log.Fatal(err)
 	}
 	bbNC := resNC.Backbone
 	// Equal-size comparison: prune DF to exactly the NC backbone's size.
-	resDF, err := repro.Backbone(g, repro.WithMethod("df"), repro.WithTopK(bbNC.NumEdges()))
+	resDF, err := repro.BackboneContext(ctx, g, repro.WithMethod("df"), repro.WithTopK(bbNC.NumEdges()))
 	if err != nil {
 		log.Fatal(err)
 	}

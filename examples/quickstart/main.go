@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,7 +47,8 @@ func main() {
 	// Run the pipeline: score every edge under the Noise-Corrected null
 	// model and prune at delta = 1.64 (~ one-tailed p = 0.05). The
 	// Result bundles the backbone, the score table and run metadata.
-	res, err := repro.Backbone(g,
+	ctx := context.Background()
+	res, err := repro.BackboneContext(ctx, g,
 		repro.WithMethod("nc"), repro.WithDelta(1.64))
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +77,7 @@ func main() {
 
 	// Any registered method swaps in by name — same pipeline, same
 	// pruning options.
-	df, err := repro.Backbone(g, repro.WithMethod("df"), repro.WithAlpha(0.05))
+	df, err := repro.BackboneContext(ctx, g, repro.WithMethod("df"), repro.WithAlpha(0.05))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -39,11 +40,12 @@ func main() {
 
 	// Both methods come from the same registry-backed pipeline; only the
 	// method name changes.
-	nc, err := repro.Score(g, repro.WithMethod("nc"))
+	ctx := context.Background()
+	nc, err := repro.ScoreContext(ctx, g, repro.WithMethod("nc"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	df, err := repro.Score(g, repro.WithMethod("df"))
+	df, err := repro.ScoreContext(ctx, g, repro.WithMethod("df"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,8 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"repro"
@@ -39,7 +42,9 @@ func main() {
 	// Run every registered method concurrently at the same backbone
 	// size — the paper's Table II protocol, one BackboneAll call.
 	k := g.NumEdges() / 10
-	results, err := repro.BackboneAll(g, nil, repro.WithTopK(k))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := repro.BackboneAllContext(ctx, g, nil, repro.WithTopK(k))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+package filter
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the failure categories callers dispatch on. They
+// are wrapped (never returned bare) by the functions of this package,
+// so match with errors.Is, not equality. The HTTP daemon maps each of
+// them to a 4xx status; everything else is a 5xx.
+var (
+	// ErrUnknownMethod marks a method name absent from the registry.
+	ErrUnknownMethod = errors.New("unknown method")
+	// ErrUnknownParam marks a parameter the selected method's schema
+	// does not declare. It is always carried inside a ParamError.
+	ErrUnknownParam = errors.New("unknown parameter")
+	// ErrNoScorer marks an operation that needs a significance table —
+	// Score, top-k pruning — requested of an extract-only method (mst).
+	ErrNoScorer = errors.New("method does not produce scores")
+)
+
+// ParamError reports an invalid parameter: either a name the method
+// does not declare (Unwrap yields ErrUnknownParam) or a value outside
+// the parameter's domain. It supports errors.As for structured
+// inspection and errors.Is against the wrapped sentinel.
+type ParamError struct {
+	// Method is the method whose schema rejected the parameter; empty
+	// when the parameter belongs to the shared pipeline options
+	// (top, frac) rather than one method.
+	Method string
+	// Param is the offending parameter name.
+	Param string
+	// Reason is the human-readable rejection.
+	Reason string
+	// Err is the sentinel category (ErrUnknownParam), or nil for
+	// domain errors on declared parameters.
+	Err error
+}
+
+func (e *ParamError) Error() string {
+	if e.Method != "" {
+		return fmt.Sprintf("filter: method %q: parameter %q: %s", e.Method, e.Param, e.Reason)
+	}
+	return fmt.Sprintf("filter: parameter %q: %s", e.Param, e.Reason)
+}
+
+func (e *ParamError) Unwrap() error { return e.Err }

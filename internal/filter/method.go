@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -104,28 +105,81 @@ func (m *Method) Resolve(overrides Params) (Params, error) {
 	p := m.Defaults()
 	for name, v := range overrides {
 		if _, ok := m.Param(name); !ok {
-			return nil, fmt.Errorf("filter: method %q does not take parameter %q", m.Name, name)
+			return nil, &ParamError{
+				Method: m.Name,
+				Param:  name,
+				Reason: fmt.Sprintf("not declared by this method (its parameters: %v)", m.paramNames()),
+				Err:    ErrUnknownParam,
+			}
 		}
 		p[name] = v
 	}
 	return p, nil
 }
 
+// paramNames lists the schema's parameter names for error messages.
+func (m *Method) paramNames() []string {
+	names := make([]string, len(m.Params))
+	for i, p := range m.Params {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // CanScore reports whether the method produces a Scores table, i.e.
 // supports ranked (top-k) pruning.
 func (m *Method) CanScore() bool { return m.Scorer != nil }
 
+// ScoreOpts bundles the cross-cutting controls of one scoring run:
+// parallelism, cooperative cancellation granularity and progress
+// reporting. The zero value scores serially with no reporting.
+type ScoreOpts struct {
+	// Parallel requests the method's multi-core scorer when registered.
+	Parallel bool
+	// Workers overrides the parallel worker count (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after every scored checkpoint
+	// range with the cumulative number of scored edges and the total.
+	// Parallel runs invoke it concurrently from worker goroutines.
+	Progress func(done, total int)
+}
+
 // Score computes the method's significance table, preferring the
 // parallel scorer when parallel is set and one is registered.
 func (m *Method) Score(g *graph.Graph, parallel bool) (*Scores, error) {
+	return m.ScoreCtx(context.Background(), g, ScoreOpts{Parallel: parallel})
+}
+
+// ScoreCtx is Score under a context: scoring checks ctx between
+// checkpoint ranges (see Checkpoint) and returns ctx.Err() when the
+// context is cancelled, leaving the partial table behind. Scorers that
+// do not decompose into ranges (hss, ds) run to completion and honor
+// the context only at their boundaries.
+func (m *Method) ScoreCtx(ctx context.Context, g *graph.Graph, o ScoreOpts) (*Scores, error) {
 	s := m.Scorer
-	if parallel && m.ParallelScorer != nil {
+	if o.Parallel && m.ParallelScorer != nil {
 		s = m.ParallelScorer
 	}
 	if s == nil {
-		return nil, fmt.Errorf("filter: method %q does not produce scores", m.Name)
+		return nil, fmt.Errorf("filter: method %q: %w", m.Name, ErrNoScorer)
 	}
-	return s.Scores(g)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch sc := s.(type) {
+	case ContextScorer:
+		return sc.ScoresCtx(ctx, g, o)
+	case RangeScorer:
+		return SerialCtx(ctx, sc, g, o.Progress)
+	}
+	out, err := s.Scores(g)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Backbone extracts the method's backbone with the given parameter
@@ -141,18 +195,28 @@ func (m *Method) Backbone(g *graph.Graph, overrides Params) (*graph.Graph, error
 // the resolved parameters, optionally scoring on all CPUs. It is the
 // single implementation of the score-then-Cut rule.
 func (m *Method) BackboneScored(g *graph.Graph, overrides Params, parallel bool) (*graph.Graph, *Scores, Params, error) {
+	return m.BackboneScoredCtx(context.Background(), g, overrides, ScoreOpts{Parallel: parallel})
+}
+
+// BackboneScoredCtx is BackboneScored under a context: scoring methods
+// propagate ctx into ScoreCtx, extract-only methods check it before
+// running their (uninterruptible) extractor.
+func (m *Method) BackboneScoredCtx(ctx context.Context, g *graph.Graph, overrides Params, o ScoreOpts) (*graph.Graph, *Scores, Params, error) {
 	p, err := m.Resolve(overrides)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	if m.Scorer != nil && m.Cut != nil {
-		s, err := m.Score(g, parallel)
+		s, err := m.ScoreCtx(ctx, g, o)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		return s.Threshold(m.Cut(p)), s, p, nil
 	}
 	if m.Extractor != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		bb, err := m.Extractor.Extract(g)
 		return bb, nil, p, err
 	}
@@ -168,6 +232,7 @@ func (m *Method) BackboneScored(g *graph.Graph, overrides Params, parallel bool)
 var reservedParams = map[string]bool{
 	"method": true, "top": true, "frac": true, "parallel": true,
 	"directed": true, "o": true, "list": true, "help": true,
+	"format": true, "outformat": true,
 }
 
 // validate checks a Method for registration.
@@ -240,7 +305,7 @@ func (r *Registry) Lookup(name string) (*Method, error) {
 	m, ok := r.methods[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("filter: unknown method %q (known: %v)", name, r.Names())
+		return nil, fmt.Errorf("filter: %w %q (known: %v)", ErrUnknownMethod, name, r.Names())
 	}
 	return m, nil
 }

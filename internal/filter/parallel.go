@@ -1,11 +1,20 @@
 package filter
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
+
+// Checkpoint is the number of edges a scoring worker processes between
+// cancellation checks and progress reports. Cancelling a context stops
+// in-flight scoring within one checkpoint range per worker. It is a
+// variable (not a constant) so tests can shrink the interval; treat it
+// as read-only outside tests.
+var Checkpoint = 4096
 
 // ParallelEdges partitions the edge-ID space [0, m) into contiguous
 // chunks and runs fn on each chunk concurrently, returning once every
@@ -18,8 +27,21 @@ import (
 // the graph, so splitting the table by ranges is race-free as long as
 // fn only writes rows in [lo, hi).
 func ParallelEdges(m, workers int, fn func(lo, hi int)) {
+	ParallelEdgesCtx(context.Background(), m, workers, nil, fn)
+}
+
+// ParallelEdgesCtx is ParallelEdges under a context with optional
+// progress reporting. Each worker walks its chunk in Checkpoint-sized
+// sub-ranges, checking ctx between them; when the context is cancelled
+// every worker stops at its next checkpoint, the call returns ctx.Err()
+// and the uncovered ranges are never passed to fn. progress, when
+// non-nil, is invoked after each completed sub-range with the
+// cumulative count of processed edges — concurrently, when more than
+// one worker runs. A nil return value guarantees fn covered [0, m)
+// exactly once.
+func ParallelEdgesCtx(ctx context.Context, m, workers int, progress func(done, total int), fn func(lo, hi int)) error {
 	if m <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,9 +49,36 @@ func ParallelEdges(m, workers int, fn func(lo, hi int)) {
 	if workers > m {
 		workers = m
 	}
+	step := Checkpoint
+	if step <= 0 {
+		step = 1
+	}
+	var done atomic.Int64
+	report := func(n int) {
+		if progress != nil {
+			progress(int(done.Add(int64(n))), m)
+		}
+	}
+	// run covers [lo, hi) in checkpoint steps; false means cancelled.
+	run := func(lo, hi int) bool {
+		for sub := lo; sub < hi; sub += step {
+			if ctx.Err() != nil {
+				return false
+			}
+			end := sub + step
+			if end > hi {
+				end = hi
+			}
+			fn(sub, end)
+			report(end - sub)
+		}
+		return true
+	}
 	if workers == 1 {
-		fn(0, m)
-		return
+		if !run(0, m) {
+			return ctx.Err()
+		}
+		return ctx.Err()
 	}
 	chunk := (m + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -41,10 +90,11 @@ func ParallelEdges(m, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
+			run(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // RangeScorer is the decomposed form of a Scorer whose per-edge work is
@@ -62,14 +112,34 @@ type RangeScorer interface {
 	ScoreEdges(s *Scores, lo, hi int)
 }
 
+// ContextScorer is a Scorer that additionally supports cooperative
+// cancellation and progress reporting. Method.ScoreCtx prefers this
+// interface when the selected scorer implements it.
+type ContextScorer interface {
+	Scorer
+	// ScoresCtx computes the table under ctx, honoring o.Workers and
+	// o.Progress. On cancellation it returns ctx.Err() (and no table).
+	ScoresCtx(ctx context.Context, g *graph.Graph, o ScoreOpts) (*Scores, error)
+}
+
 // Serial computes a RangeScorer's full table on the calling goroutine —
 // the standard body of the sequential Scores method.
 func Serial(rs RangeScorer, g *graph.Graph) (*Scores, error) {
+	return SerialCtx(context.Background(), rs, g, nil)
+}
+
+// SerialCtx computes rs's table on the calling goroutine in Checkpoint
+// steps, checking ctx between steps and reporting to progress.
+func SerialCtx(ctx context.Context, rs RangeScorer, g *graph.Graph, progress func(done, total int)) (*Scores, error) {
 	s, err := rs.NewTable(g)
 	if err != nil {
 		return nil, err
 	}
-	rs.ScoreEdges(s, 0, len(s.Score))
+	if err := ParallelEdgesCtx(ctx, len(s.Score), 1, progress, func(lo, hi int) {
+		rs.ScoreEdges(s, lo, hi)
+	}); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -94,19 +164,32 @@ func (p *Parallel) Name() string { return p.RS.Name() + "-parallel" }
 // scorer's sequential output: the per-edge kernel is the same code, and
 // rows do not interact.
 func (p *Parallel) Scores(g *graph.Graph) (*Scores, error) {
+	return p.ScoresCtx(context.Background(), g, ScoreOpts{})
+}
+
+// ScoresCtx implements ContextScorer: the same bit-identical table,
+// with cancellation checkpoints and progress reporting.
+func (p *Parallel) ScoresCtx(ctx context.Context, g *graph.Graph, o ScoreOpts) (*Scores, error) {
 	s, err := p.RS.NewTable(g)
 	if err != nil {
 		return nil, err
 	}
 	m := len(s.Score)
+	workers := p.Workers
+	if o.Workers != 0 {
+		workers = o.Workers
+	}
 	minEdges := p.MinEdges
 	if minEdges == 0 {
 		minEdges = 4096
 	}
 	if m < minEdges {
-		p.RS.ScoreEdges(s, 0, m)
-	} else {
-		ParallelEdges(m, p.Workers, func(lo, hi int) { p.RS.ScoreEdges(s, lo, hi) })
+		workers = 1
+	}
+	if err := ParallelEdgesCtx(ctx, m, workers, o.Progress, func(lo, hi int) {
+		p.RS.ScoreEdges(s, lo, hi)
+	}); err != nil {
+		return nil, err
 	}
 	s.Method = p.Name()
 	return s, nil

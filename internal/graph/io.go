@@ -2,20 +2,34 @@ package graph
 
 import (
 	"bufio"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
 
-// ReadCSV parses an edge list of the form "src,dst,weight" (one edge per
-// line; '#'-prefixed lines and a "src,dst,..." header are skipped) into a
-// Graph. Fields may also be tab- or space-separated. Node labels are
-// arbitrary strings; IDs are assigned in order of first appearance.
-func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
+// maxLineBytes caps a single input line. Edge-list lines are three
+// short fields; anything near this limit is a malformed or binary file.
+const maxLineBytes = 1 << 20
+
+// ErrLineTooLong marks an input line exceeding the per-line cap. It
+// used to surface as bufio.Scanner's generic "token too long"; now it
+// carries the offending line number.
+var ErrLineTooLong = errors.New("line too long")
+
+// readEdgeList parses delimited "src dst weight" lines into a Graph.
+// Fields are tab-separated when the line contains a tab, else
+// comma-separated when it contains a comma, else whitespace-separated —
+// preferring tabs keeps labels containing commas intact in TSV files.
+// Blank lines and '#' comments are skipped; CRLF line endings are
+// handled; a header row is detected on line 1 by a non-numeric weight
+// field regardless of the separator.
+func readEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	b := NewBuilder(directed)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -39,37 +53,175 @@ func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("graph: line %d: %w (limit %d bytes)", lineNo+1, ErrLineTooLong, maxLineBytes)
+		}
 		return nil, fmt.Errorf("graph: read: %v", err)
 	}
 	return b.Build(), nil
 }
 
+// ReadCSV parses an edge list of the form "src,dst,weight" (one edge per
+// line; '#'-prefixed lines and a "src,dst,..." header are skipped) into a
+// Graph. Fields may also be tab- or space-separated. Node labels are
+// arbitrary strings; IDs are assigned in order of first appearance.
+//
+// New code should prefer ReadGraph, which adds format selection,
+// content sniffing and transparent gzip decompression.
+func ReadCSV(r io.Reader, directed bool) (*Graph, error) {
+	return readEdgeList(r, directed)
+}
+
 func splitFields(line string) []string {
-	if strings.ContainsRune(line, ',') {
-		parts := strings.Split(line, ",")
-		for i := range parts {
-			parts[i] = strings.TrimSpace(parts[i])
-		}
-		return parts
+	// Tabs are the most deliberate separator: a TSV header or label may
+	// legitimately contain commas, so check for tabs first.
+	var parts []string
+	switch {
+	case strings.ContainsRune(line, '\t'):
+		parts = strings.Split(line, "\t")
+	case strings.ContainsRune(line, ','):
+		parts = strings.Split(line, ",")
+	default:
+		return strings.Fields(line)
 	}
-	return strings.Fields(line)
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// label returns the display label of a node: its string label when one
+// was assigned, else its numeric ID.
+func (g *Graph) label(id int32) string {
+	if l := g.labels[id]; l != "" {
+		return l
+	}
+	return strconv.Itoa(int(id))
+}
+
+// LabelOrID is the node's display label for serialization: its string
+// label when one was assigned, else its numeric ID.
+func (g *Graph) LabelOrID(u int) string { return g.label(int32(u)) }
+
+// writeEdgeList writes the canonical edge list with the given field
+// separator, preceded by a header row. Weights use strconv's shortest
+// exact representation, so written graphs read back bit-identically.
+// A label containing the separator (or a newline) would corrupt the
+// output and break that guarantee, so it is an explicit error — use
+// ndjson (or a different separator) for such labels.
+func (g *Graph) writeEdgeList(w io.Writer, sep byte) error {
+	bw := bufio.NewWriter(w)
+	header := strings.Join([]string{"src", "dst", "weight"}, string(sep))
+	if _, err := fmt.Fprintln(bw, header); err != nil {
+		return err
+	}
+	unsafe := string(sep) + "\n\r"
+	writeLabel := func(l string) error {
+		if strings.ContainsAny(l, unsafe) {
+			return fmt.Errorf("graph: label %q contains the field separator %q; write this graph as ndjson instead", l, sep)
+		}
+		bw.WriteString(l)
+		return nil
+	}
+	for _, e := range g.edges {
+		if err := writeLabel(g.label(e.Src)); err != nil {
+			return err
+		}
+		bw.WriteByte(sep)
+		if err := writeLabel(g.label(e.Dst)); err != nil {
+			return err
+		}
+		bw.WriteByte(sep)
+		bw.WriteString(strconv.FormatFloat(e.Weight, 'g', -1, 64))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // WriteCSV writes the canonical edge list as "src,dst,weight" lines with
 // a header. Nodes without labels are written as their numeric ID.
-func (g *Graph) WriteCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "src,dst,weight"); err != nil {
-		return err
+func (g *Graph) WriteCSV(w io.Writer) error { return g.writeEdgeList(w, ',') }
+
+// ndjsonEdge is the wire form of one edge in the ndjson format.
+type ndjsonEdge struct {
+	Src    any      `json:"src"`
+	Dst    any      `json:"dst"`
+	Weight *float64 `json:"weight"`
+}
+
+// JSONLabel renders a decoded src/dst value as a node label. Strings
+// pass through; numbers keep their literal spelling (json.Number).
+// Shared by the ndjson reader and the daemon's JSON envelope.
+func JSONLabel(v any) (string, error) {
+	switch t := v.(type) {
+	case string:
+		return t, nil
+	case json.Number:
+		return t.String(), nil
+	case nil:
+		return "", fmt.Errorf("missing node field")
+	default:
+		return "", fmt.Errorf("node field must be a string or number, got %T", v)
 	}
-	name := func(id int32) string {
-		if l := g.labels[id]; l != "" {
-			return l
+}
+
+// readNDJSON parses newline-delimited JSON objects of the form
+// {"src": ..., "dst": ..., "weight": n}. src and dst may be strings or
+// numbers; blank lines are skipped.
+func readNDJSON(r io.Reader, directed bool) (*Graph, error) {
+	b := NewBuilder(directed)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
 		}
-		return strconv.Itoa(int(id))
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.UseNumber()
+		var e ndjsonEdge
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad ndjson edge: %v", lineNo, err)
+		}
+		src, err := JSONLabel(e.Src)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: src: %v", lineNo, err)
+		}
+		dst, err := JSONLabel(e.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: dst: %v", lineNo, err)
+		}
+		if e.Weight == nil {
+			return nil, fmt.Errorf("graph: line %d: missing weight", lineNo)
+		}
+		if err := b.AddEdgeLabels(src, dst, *e.Weight); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
 	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("graph: line %d: %w (limit %d bytes)", lineNo+1, ErrLineTooLong, maxLineBytes)
+		}
+		return nil, fmt.Errorf("graph: read: %v", err)
+	}
+	return b.Build(), nil
+}
+
+// writeNDJSON writes one {"src","dst","weight"} JSON object per edge.
+func (g *Graph) writeNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
 	for _, e := range g.edges {
-		if _, err := fmt.Fprintf(bw, "%s,%s,%g\n", name(e.Src), name(e.Dst), e.Weight); err != nil {
+		rec := struct {
+			Src    string  `json:"src"`
+			Dst    string  `json:"dst"`
+			Weight float64 `json:"weight"`
+		}{g.label(e.Src), g.label(e.Dst), e.Weight}
+		if err := enc.Encode(&rec); err != nil {
 			return err
 		}
 	}

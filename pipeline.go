@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -33,6 +34,7 @@ type config struct {
 	topFrac  float64
 	fracSet  bool
 	parallel bool
+	progress func(done, total int)
 	lenient  bool // skip params the method does not declare (BackboneAll)
 	err      error
 }
@@ -87,7 +89,7 @@ func WithK(k int) Option { return WithParam("k", float64(k)) }
 func WithTopK(k int) Option {
 	return func(c *config) {
 		if k < 0 {
-			c.setErr(fmt.Errorf("repro: WithTopK(%d): k must be non-negative", k))
+			c.setErr(&ParamError{Param: "top", Reason: fmt.Sprintf("WithTopK(%d): k must be non-negative", k)})
 			return
 		}
 		c.topK, c.topKSet = k, true
@@ -99,7 +101,7 @@ func WithTopK(k int) Option {
 func WithTopFraction(f float64) Option {
 	return func(c *config) {
 		if f <= 0 || f > 1 {
-			c.setErr(fmt.Errorf("repro: WithTopFraction(%v): fraction must be in (0, 1]", f))
+			c.setErr(&ParamError{Param: "frac", Reason: fmt.Sprintf("WithTopFraction(%v): fraction must be in (0, 1]", f)})
 			return
 		}
 		c.topFrac, c.fracSet = f, true
@@ -111,6 +113,17 @@ func WithTopFraction(f float64) Option {
 // either way.
 func WithParallel() Option {
 	return func(c *config) { c.parallel = true }
+}
+
+// WithProgress registers a callback for long runs: fn is invoked after
+// every scored checkpoint range (a few thousand edges) with the
+// cumulative number of scored edges and the total. Parallel runs call
+// fn concurrently from worker goroutines, and BackboneAll interleaves
+// the progress of its methods, so fn must be safe for concurrent use.
+// Methods that do not score by ranges (hss, mst, ds) report no
+// intermediate progress.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.progress = fn }
 }
 
 // Result bundles a pipeline run: the backbone itself, the significance
@@ -179,24 +192,39 @@ func resolve(opts []Option) (*config, *Method, error) {
 //
 //	res, err := repro.Backbone(g, repro.WithMethod("df"), repro.WithAlpha(0.01))
 //	res, err := repro.Backbone(g, repro.WithTopK(500))   // size-matched NC
+//
+// Backbone never cancels; use BackboneContext to bound a run.
 func Backbone(g *Graph, opts ...Option) (*Result, error) {
+	return BackboneContext(context.Background(), g, opts...)
+}
+
+// BackboneContext is Backbone under a context: scoring checks ctx
+// between checkpoint ranges (a few thousand edges per worker) and
+// returns ctx.Err() promptly after cancellation or deadline expiry.
+// Combine with WithProgress to observe long runs:
+//
+//	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+//	defer cancel()
+//	res, err := repro.BackboneContext(ctx, g, repro.WithMethod("nc"), repro.WithParallel())
+func BackboneContext(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
 	c, m, err := resolve(opts)
 	if err != nil {
 		return nil, err
 	}
+	so := filter.ScoreOpts{Parallel: c.parallel, Progress: c.progress}
 	start := time.Now()
 	var scores *Scores
 	var bb *Graph
 	var params filter.Params
 	if c.topKSet || c.fracSet {
 		if !m.CanScore() {
-			return nil, fmt.Errorf("repro: method %q has a fixed backbone size and does not support top-k pruning", m.Name)
+			return nil, fmt.Errorf("repro: method %q has a fixed backbone size and does not support top-k pruning: %w", m.Name, filter.ErrNoScorer)
 		}
 		params, err = m.Resolve(c.params)
 		if err != nil {
 			return nil, err
 		}
-		scores, err = m.Score(g, c.parallel)
+		scores, err = m.ScoreCtx(ctx, g, so)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +234,7 @@ func Backbone(g *Graph, opts ...Option) (*Result, error) {
 			bb = scores.TopFraction(c.topFrac)
 		}
 	} else {
-		bb, scores, params, err = m.BackboneScored(g, c.params, c.parallel)
+		bb, scores, params, err = m.BackboneScoredCtx(ctx, g, c.params, so)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +262,15 @@ func Backbone(g *Graph, opts ...Option) (*Result, error) {
 // error here, as are extract-only methods (mst).
 //
 //	s, err := repro.Score(g, repro.WithMethod("hss"))
+//
+// Score never cancels; use ScoreContext to bound a run.
 func Score(g *Graph, opts ...Option) (*Scores, error) {
+	return ScoreContext(context.Background(), g, opts...)
+}
+
+// ScoreContext is Score under a context, with the same cancellation
+// semantics as BackboneContext.
+func ScoreContext(ctx context.Context, g *Graph, opts ...Option) (*Scores, error) {
 	c, m, err := resolve(opts)
 	if err != nil {
 		return nil, err
@@ -247,7 +283,7 @@ func Score(g *Graph, opts ...Option) (*Scores, error) {
 	if _, err := m.Resolve(c.params); err != nil {
 		return nil, err
 	}
-	return m.Score(g, c.parallel)
+	return m.ScoreCtx(ctx, g, filter.ScoreOpts{Parallel: c.parallel, Progress: c.progress})
 }
 
 // BackboneAll runs several methods concurrently on the same graph and
@@ -270,6 +306,15 @@ func Score(g *Graph, opts ...Option) (*Scores, error) {
 // failure in Err with a nil Backbone, matching the "n/a" cells of the
 // paper's tables.
 func BackboneAll(g *Graph, methods []string, opts ...Option) ([]*Result, error) {
+	return BackboneAllContext(context.Background(), g, methods, opts...)
+}
+
+// BackboneAllContext is BackboneAll under a context. Cancellation
+// propagates into every per-method goroutine: in-flight scoring stops
+// at the next checkpoint and the affected results carry ctx.Err() in
+// their Err field. The method slice and ordering semantics are those
+// of BackboneAll.
+func BackboneAllContext(ctx context.Context, g *Graph, methods []string, opts ...Option) ([]*Result, error) {
 	if len(methods) == 0 {
 		for _, m := range Methods() {
 			methods = append(methods, m.Name)
@@ -303,7 +348,7 @@ func BackboneAll(g *Graph, methods []string, opts ...Option) ([]*Result, error) 
 			}
 		}
 		if !declared {
-			return nil, fmt.Errorf("repro: no selected method declares parameter %q", name)
+			return nil, &ParamError{Param: name, Reason: "no selected method declares this parameter", Err: ErrUnknownParam}
 		}
 	}
 	results := make([]*Result, len(methods))
@@ -319,7 +364,7 @@ func BackboneAll(g *Graph, methods []string, opts ...Option) ([]*Result, error) 
 					c.topKSet, c.fracSet = false, false
 				}
 			})
-			res, err := Backbone(g, runOpts...)
+			res, err := BackboneContext(ctx, g, runOpts...)
 			if err != nil {
 				res = &Result{Method: m.Name, Title: m.Title, Err: err}
 			}

@@ -18,3 +18,16 @@ func TestREADMEMethodTableCurrent(t *testing.T) {
 		t.Error("README.md method table is out of date; regenerate with `go run ./cmd/experiments methods`")
 	}
 }
+
+// TestREADMEFormatTableCurrent pins the README's I/O format table to
+// the graph format registry: if a format changes, regenerate the table
+// with `go run ./cmd/experiments formats`.
+func TestREADMEFormatTableCurrent(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), FormatsTable()) {
+		t.Error("README.md format table is out of date; regenerate with `go run ./cmd/experiments formats`")
+	}
+}
