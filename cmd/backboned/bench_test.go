@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchDaemon measures end-to-end request latency through the full
+// HTTP stack: cold (every body unique — parse + score every time)
+// versus cache-hit (identical bodies — straight to extraction).
+func benchDaemon(b *testing.B, unique bool) {
+	s := newServer(serverConfig{
+		workers: 4, timeout: time.Minute, maxBody: 1 << 28,
+		graphCacheBytes: 256 << 20, scoreCacheBytes: 256 << 20,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	base := encodeGraph(b, testGraph(b, 20_000), "csv").Bytes()
+	url := ts.URL + "/backbone?method=nc&delta=1.64"
+	post := func(body []byte) {
+		resp, err := http.Post(url, "text/csv", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post(base) // warm: the cache-hit benchmark measures pure hits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := base
+		if unique {
+			// A distinct trailing comment changes the content hash while
+			// parsing cost stays identical.
+			body = append(bytes.Clone(base), fmt.Sprintf("# req %d\n", i)...)
+		}
+		post(body)
+	}
+}
+
+func BenchmarkDaemonBackboneCold(b *testing.B)     { benchDaemon(b, true) }
+func BenchmarkDaemonBackboneCacheHit(b *testing.B) { benchDaemon(b, false) }

@@ -4,12 +4,14 @@
 // Usage:
 //
 //	backboned [-addr :8080] [-workers N] [-timeout 60s] [-max-body 256MiB]
+//	          [-graph-cache-mb 256] [-score-cache-mb 128] [-pprof addr]
 //
 // Endpoints:
 //
 //	GET  /methods    registered methods and parameter schemas as JSON
 //	GET  /formats    registered edge-list formats as JSON
 //	GET  /healthz    liveness probe
+//	GET  /statsz     uptime, request and cache counters as JSON
 //	POST /backbone   extract a backbone from the request body's edge list
 //	POST /score      per-edge significance table for the body's edge list
 //
@@ -30,6 +32,16 @@
 // into the scoring loops via the context-aware pipeline: a disconnected
 // client stops in-flight work within one checkpoint range. SIGINT and
 // SIGTERM drain in-flight requests before exiting.
+//
+// Request bodies are content-addressed: parsed graphs and per-method
+// score tables are memoized in size-bounded LRU caches
+// (-graph-cache-mb / -score-cache-mb, 0 disables), with concurrent
+// identical requests de-duplicated in flight. A repeated body skips
+// parsing; a repeated (body, method) pair skips scoring too, whatever
+// its delta/alpha/top parameters — responses say which via the
+// X-Backbone-Cache: hit|miss header, and GET /statsz exposes the
+// counters. -pprof starts net/http/pprof on a side listener for
+// production profiling.
 package main
 
 import (
@@ -39,6 +51,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,16 +61,36 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent scoring requests")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout")
-		maxBody = flag.Int64("max-body", 256<<20, "maximum request body size in bytes")
-		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent scoring requests")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		maxBody    = flag.Int64("max-body", 256<<20, "maximum request body size in bytes")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		graphCache = flag.Int64("graph-cache-mb", 256, "parsed-graph cache budget in MiB (0 disables)")
+		scoreCache = flag.Int64("score-cache-mb", 128, "score-table cache budget in MiB (0 disables)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (empty disables)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "backboned: ", log.LstdFlags)
-	s := newServer(*workers, *timeout, *maxBody, logger.Printf)
+	s := newServer(serverConfig{
+		workers:         *workers,
+		timeout:         *timeout,
+		maxBody:         *maxBody,
+		graphCacheBytes: *graphCache << 20,
+		scoreCacheBytes: *scoreCache << 20,
+		logf:            logger.Printf,
+	})
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			// nil handler = DefaultServeMux, where net/http/pprof
+			// registered; the main server's mux never exposes it.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s,

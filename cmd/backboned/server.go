@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,9 +13,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/cache"
+	"repro/internal/filter"
 	"repro/internal/graph"
 )
 
@@ -21,42 +26,104 @@ import (
 // the client went away before the pipeline finished.
 const statusClientClosedRequest = 499
 
+// graphKey content-addresses one parsed request body: the hash of the
+// raw bytes plus everything else that shapes the resulting graph (the
+// resolved input format or sniff/envelope mode, and directedness).
+type graphKey struct {
+	sum      [sha256.Size]byte
+	mode     string // format name, "sniff", or "envelope"
+	directed bool
+}
+
+// scoreKey addresses one method's significance table for one parsed
+// graph. Method parameters are deliberately absent: they only move
+// pruning thresholds, never the table, so a client re-posting the same
+// network with a different delta scores nothing at all.
+type scoreKey struct {
+	g      graphKey
+	method string
+}
+
+// serverConfig bundles the daemon's run controls.
+type serverConfig struct {
+	workers int           // bounded worker pool slots
+	timeout time.Duration // per-request wall clock budget
+	maxBody int64
+	// graphCacheBytes / scoreCacheBytes bound the content-addressed
+	// caches; 0 disables one.
+	graphCacheBytes int64
+	scoreCacheBytes int64
+	logf            func(format string, args ...any)
+}
+
 // server is the backboned HTTP front end: a mux over the method
 // registry plus the shared run controls every request goes through —
-// the bounded worker pool, the per-request timeout, and the typed-error
-// to status-code mapping.
+// the bounded worker pool, the per-request timeout, the typed-error to
+// status-code mapping, and the content-addressed caches that let
+// repeated identical bodies skip parsing and scoring.
 type server struct {
 	mux     *http.ServeMux
 	sem     chan struct{} // bounded worker pool for scoring requests
 	timeout time.Duration // per-request wall clock budget
 	maxBody int64
 	logf    func(format string, args ...any)
+	// graphs memoizes parsed request bodies; scores memoizes per-method
+	// significance tables. Either may be nil (disabled) — the nil LRU
+	// computes without caching.
+	graphs   *cache.LRU[graphKey, *repro.Graph]
+	scores   *cache.LRU[scoreKey, *repro.Scores]
+	start    time.Time
+	requests atomic.Uint64
 	// onError observes every request failure after status mapping; a
 	// test hook, nil outside tests.
 	onError func(status int, err error)
 }
 
-func newServer(workers int, timeout time.Duration, maxBody int64, logf func(string, ...any)) *server {
-	if workers < 1 {
-		workers = 1
+func newServer(cfg serverConfig) *server {
+	if cfg.workers < 1 {
+		cfg.workers = 1
 	}
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
 	}
 	s := &server{
 		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, workers),
-		timeout: timeout,
-		maxBody: maxBody,
-		logf:    logf,
+		sem:     make(chan struct{}, cfg.workers),
+		timeout: cfg.timeout,
+		maxBody: cfg.maxBody,
+		logf:    cfg.logf,
+		graphs:  cache.New[graphKey, *repro.Graph](cfg.graphCacheBytes),
+		scores:  cache.New[scoreKey, *repro.Scores](cfg.scoreCacheBytes),
+		start:   time.Now(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/methods", s.handleMethods)
 	s.mux.HandleFunc("/formats", s.handleFormats)
 	s.mux.HandleFunc("/backbone", s.handleRun)
 	s.mux.HandleFunc("/score", s.handleRun)
 	return s
+}
+
+// graphCost approximates a parsed graph's resident bytes: canonical
+// edges, CSR arcs, strengths, labels and the label index.
+func graphCost(g *repro.Graph) int64 {
+	cost := int64(g.NumEdges())*56 + int64(g.NumNodes())*28 + 256
+	for _, l := range g.Labels() {
+		cost += int64(len(l)) * 2 // label storage + index key
+	}
+	return cost
+}
+
+// scoresCost approximates a significance table's resident bytes. The
+// graph it references is accounted by the graph cache.
+func scoresCost(sc *repro.Scores) int64 {
+	cost := int64(len(sc.Score))*8 + 128
+	for _, col := range sc.Aux {
+		cost += int64(len(col)) * 8
+	}
+	return cost
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -106,6 +173,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 GET  /methods            registered methods and their parameter schemas (JSON)
 GET  /formats            registered edge-list formats (JSON)
 GET  /healthz            liveness probe
+GET  /statsz             uptime, request and cache counters (JSON)
 POST /backbone           extract a backbone from the edge list in the body
 POST /score              per-edge significance table for the body's edge list
 
@@ -114,6 +182,11 @@ Query parameters for POST: method (default nc), any method parameter
 outformat (csv|tsv|ndjson), response=json. The body is an edge list in
 any registered format (gzip accepted, format sniffed), or a JSON
 envelope {"method":..., "params":{...}, "edges":[{"src":..,"dst":..,"weight":..}]}.
+
+Responses carry X-Backbone-Cache: "hit" when a content-addressed cache
+match let the request skip parsing and scoring, else "miss". Re-posting
+the same body with different method parameters (delta, alpha, top, ...)
+is always a hit: parameters move thresholds, never the score table.
 `)
 }
 
@@ -178,10 +251,16 @@ func (s *server) handleFormats(w http.ResponseWriter, r *http.Request) {
 }
 
 // runRequest is a parsed /backbone or /score request: the input graph
-// plus the pipeline options and response shaping derived from query
-// parameters and (optionally) the JSON envelope.
+// (possibly served from the content-addressed cache under gkey), the
+// selected method, and the pipeline options and response shaping
+// derived from query parameters and (optionally) the JSON envelope.
 type runRequest struct {
 	g         *repro.Graph
+	gkey      graphKey
+	method    *repro.Method
+	params    filter.Params // resolved-name overrides, for /score validation
+	topSet    bool          // a top/frac pruning option is present
+	parallel  bool
 	opts      []repro.Option
 	outFormat string
 	asJSON    bool
@@ -226,9 +305,44 @@ func contentTypeFormat(ct string) string {
 	return ""
 }
 
-// parseRun turns the HTTP request into a runRequest. The int return is
-// the HTTP status to use when err != nil.
-func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
+// parseStatus maps a parse-phase error to its HTTP status: context
+// expiry keeps its dedicated codes (a cache follower can observe its
+// own cancellation while waiting), everything else is a caller mistake.
+func parseStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return statusFor(err)
+	}
+	return http.StatusBadRequest
+}
+
+// buildEnvelopeGraph constructs the graph carried inline in a JSON
+// envelope.
+func buildEnvelopeGraph(env *envelope, directed bool) (*repro.Graph, error) {
+	b := repro.NewBuilder(directed)
+	for i, e := range env.Edges {
+		src, err := graph.JSONLabel(e.Src)
+		if err != nil {
+			return nil, fmt.Errorf("edges[%d].src: %v", i, err)
+		}
+		dst, err := graph.JSONLabel(e.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("edges[%d].dst: %v", i, err)
+		}
+		if e.Weight == nil {
+			return nil, fmt.Errorf("edges[%d]: missing weight", i)
+		}
+		if err := b.AddEdgeLabels(src, dst, *e.Weight); err != nil {
+			return nil, fmt.Errorf("edges[%d]: %v", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// parseRun turns the HTTP request (body already read in full) into a
+// runRequest, resolving the graph through the content-addressed cache:
+// identical bodies parse once, concurrent identical bodies parse once
+// between them. The int return is the HTTP status when err != nil.
+func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*runRequest, int, error) {
 	q := r.URL.Query()
 	req := &runRequest{}
 
@@ -239,7 +353,7 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 
 	var env *envelope
 	if ct == "application/json" {
-		dec := json.NewDecoder(r.Body)
+		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.UseNumber()
 		env = &envelope{}
 		if err := dec.Decode(env); err != nil {
@@ -252,32 +366,26 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 		if v := q.Get("directed"); v != "" {
 			directed = v == "true" || v == "1"
 		}
-		b := repro.NewBuilder(directed)
-		for i, e := range env.Edges {
-			src, err := graph.JSONLabel(e.Src)
+		req.gkey = graphKey{sum: sha256.Sum256(body), mode: "envelope", directed: directed}
+		g, _, err := s.graphs.Do(ctx, req.gkey, func() (*repro.Graph, int64, error) {
+			g, err := buildEnvelopeGraph(env, directed)
 			if err != nil {
-				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d].src: %v", i, err)
+				return nil, 0, err
 			}
-			dst, err := graph.JSONLabel(e.Dst)
-			if err != nil {
-				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d].dst: %v", i, err)
-			}
-			if e.Weight == nil {
-				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d]: missing weight", i)
-			}
-			if err := b.AddEdgeLabels(src, dst, *e.Weight); err != nil {
-				return nil, http.StatusBadRequest, fmt.Errorf("edges[%d]: %v", i, err)
-			}
+			return g, graphCost(g), nil
+		})
+		if err != nil {
+			return nil, parseStatus(err), err
 		}
-		req.g = b.Build()
+		req.g = g
 	} else {
+		directed := q.Get("directed") == "true" || q.Get("directed") == "1"
 		inFormat := q.Get("format")
 		if inFormat == "" {
 			inFormat = contentTypeFormat(ct)
 		}
-		readOpts := []repro.IOOption{
-			repro.WithDirected(q.Get("directed") == "true" || q.Get("directed") == "1"),
-		}
+		mode := "sniff"
+		readOpts := []repro.IOOption{repro.WithDirected(directed)}
 		if inFormat != "" {
 			f, err := repro.LookupFormat(inFormat)
 			if err != nil {
@@ -285,10 +393,18 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 			}
 			req.outFormat = f.Name // default response format mirrors input
 			readOpts = append(readOpts, repro.WithFormat(f.Name))
+			mode = f.Name
 		}
-		g, err := repro.ReadGraph(r.Body, readOpts...)
+		req.gkey = graphKey{sum: sha256.Sum256(body), mode: mode, directed: directed}
+		g, _, err := s.graphs.Do(ctx, req.gkey, func() (*repro.Graph, int64, error) {
+			g, err := repro.ReadGraph(bytes.NewReader(body), readOpts...)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad edge list: %w", err)
+			}
+			return g, graphCost(g), nil
+		})
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("bad edge list: %w", err)
+			return nil, parseStatus(err), err
 		}
 		req.g = g
 	}
@@ -305,18 +421,24 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	req.method = m
+	req.params = filter.Params{}
 	req.opts = append(req.opts, repro.WithMethod(m.Name))
 	if env != nil {
 		for name, v := range env.Params {
+			req.params[name] = v
 			req.opts = append(req.opts, repro.WithParam(name, v))
 		}
 		if env.Top != nil {
+			req.topSet = true
 			req.opts = append(req.opts, repro.WithTopK(*env.Top))
 		}
 		if env.Frac != nil {
+			req.topSet = true
 			req.opts = append(req.opts, repro.WithTopFraction(*env.Frac))
 		}
 		if env.Parallel {
+			req.parallel = true
 			req.opts = append(req.opts, repro.WithParallel())
 		}
 	}
@@ -338,6 +460,7 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 				Reason: fmt.Sprintf("not a number: %q", vals[0]),
 			}
 		}
+		req.params[name] = v
 		req.opts = append(req.opts, repro.WithParam(name, v))
 	}
 	if v := q.Get("top"); v != "" {
@@ -345,6 +468,7 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 		if err != nil {
 			return nil, http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)}
 		}
+		req.topSet = true
 		req.opts = append(req.opts, repro.WithTopK(k))
 	}
 	if v := q.Get("frac"); v != "" {
@@ -352,9 +476,11 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 		if err != nil {
 			return nil, http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)}
 		}
+		req.topSet = true
 		req.opts = append(req.opts, repro.WithTopFraction(f))
 	}
 	if v := q.Get("parallel"); v == "true" || v == "1" {
+		req.parallel = true
 		req.opts = append(req.opts, repro.WithParallel())
 	}
 
@@ -375,18 +501,43 @@ func (s *server) parseRun(r *http.Request) (*runRequest, int, error) {
 	return req, 0, nil
 }
 
+// cachedScores resolves the request's significance table through the
+// score cache with single-flight de-duplication: identical bodies with
+// the same method score once, no matter how the method's parameters
+// differ (they only move thresholds). The returned hit flag reports
+// whether this call skipped scoring.
+func (s *server) cachedScores(ctx context.Context, req *runRequest) (*repro.Scores, bool, error) {
+	key := scoreKey{g: req.gkey, method: req.method.Name}
+	return s.scores.Do(ctx, key, func() (*repro.Scores, int64, error) {
+		opts := []repro.Option{repro.WithMethod(req.method.Name)}
+		if req.parallel {
+			opts = append(opts, repro.WithParallel())
+		}
+		sc, err := repro.ScoreContext(ctx, req.g, opts...)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sc, scoresCost(sc), nil
+	})
+}
+
 // handleRun serves POST /backbone and POST /score: per-request
-// timeout, parse, admission into the bounded worker pool, pipeline,
-// respond. Parsing happens before admission — it is I/O-bound and must
-// drain the request body so the connection's background read can
-// detect a vanished client while the request queues for a slot; the
-// pool bounds only the CPU-bound scoring.
+// timeout, read+hash the body, admission into the bounded worker pool,
+// parse (through the graph cache), score (through the score cache),
+// prune, respond. Only the body read happens before admission — it is
+// I/O-bound and drains the request so the connection's background read
+// can detect a vanished client while the request queues for a slot;
+// parsing is multi-core since the chunked codec, so it runs inside the
+// pool with the scoring it feeds. X-Backbone-Cache reports "hit" when
+// a cached table let the request skip both parsing and scoring, else
+// "miss".
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
 		return
 	}
+	s.requests.Add(1)
 	ctx := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -394,13 +545,16 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	req, status, err := s.parseRun(r)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		s.fail(w, status, err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %v", err))
 		return
 	}
-
 	// Bounded worker pool: a saturated pool makes callers queue until a
 	// slot frees or their request context gives up.
 	select {
@@ -411,22 +565,84 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	req, status, err := s.parseRun(ctx, r, body)
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+
 	scoreOnly := strings.HasPrefix(r.URL.Path, "/score")
 	if scoreOnly {
-		scores, err := repro.ScoreContext(ctx, req.g, req.opts...)
+		// The cached-scores path skips ScoreContext, so reproduce its
+		// caller-mistake checks here: no pruning options, and every
+		// parameter override must be declared by the method.
+		if req.topSet {
+			s.fail(w, http.StatusInternalServerError, errors.New("repro: Score returns the full table; prune with Backbone's WithTopK/WithTopFraction or the table's own TopK"))
+			return
+		}
+		if _, err := req.method.Resolve(req.params); err != nil {
+			s.fail(w, statusFor(err), err)
+			return
+		}
+	}
+
+	// A precomputed table only helps when something will prune it:
+	// top/frac, the method's own Cut rule, or a /score response. A
+	// scorer without Cut (ds) otherwise runs its Extractor as always.
+	useTable := req.method.CanScore() && (scoreOnly || req.topSet || req.method.Cut != nil)
+	var scores *repro.Scores
+	cacheState := "miss"
+	if useTable {
+		sc, hit, err := s.cachedScores(ctx, req)
 		if err != nil {
 			s.fail(w, statusFor(err), err)
 			return
 		}
+		scores = sc
+		if hit {
+			cacheState = "hit"
+		}
+		// A cached table references its own (identical-content) graph;
+		// downstream pruning and coverage must use that same value.
+		req.g = sc.G
+	} else if scoreOnly {
+		// Extract-only methods cannot serve /score; surface the typed
+		// error exactly as the pipeline would.
+		_, err := repro.ScoreContext(ctx, req.g, req.opts...)
+		if err == nil {
+			err = fmt.Errorf("method %q produced no table", req.method.Name)
+		}
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("X-Backbone-Cache", cacheState)
+
+	if scoreOnly {
 		s.writeScores(w, req, scores)
 		return
 	}
-	res, err := repro.BackboneContext(ctx, req.g, req.opts...)
+	runOpts := req.opts
+	if scores != nil {
+		runOpts = append(runOpts, repro.WithScores(scores))
+	}
+	res, err := repro.BackboneContext(ctx, req.g, runOpts...)
 	if err != nil {
 		s.fail(w, statusFor(err), err)
 		return
 	}
 	s.writeBackbone(w, req, res)
+}
+
+// handleStatsz reports process uptime, request count and cache
+// counters as JSON — the daemon's operational introspection endpoint.
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"requests":       s.requests.Load(),
+		"graph_cache":    s.graphs.Stats(),
+		"score_cache":    s.scores.Stats(),
+	})
 }
 
 // responseContentType maps a registered format name to its media type.

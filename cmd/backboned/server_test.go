@@ -86,7 +86,11 @@ func encodeGraph(t testing.TB, g *repro.Graph, format string) *bytes.Buffer {
 
 func newTestServer(t testing.TB, workers int, timeout time.Duration) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(workers, timeout, 1<<24, t.Logf)
+	s := newServer(serverConfig{
+		workers: workers, timeout: timeout, maxBody: 1 << 24,
+		graphCacheBytes: 64 << 20, scoreCacheBytes: 64 << 20,
+		logf: t.Logf,
+	})
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -417,5 +421,263 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// statszSnapshot decodes GET /statsz.
+type statszSnapshot struct {
+	Requests   uint64 `json:"requests"`
+	GraphCache struct {
+		Hits, Misses, Coalesced, Evictions uint64
+		Entries                            int
+		Bytes                              int64 `json:"bytes"`
+	} `json:"graph_cache"`
+	ScoreCache struct {
+		Hits, Misses, Coalesced, Evictions uint64
+		Entries                            int
+		Bytes                              int64 `json:"bytes"`
+	} `json:"score_cache"`
+}
+
+func getStatsz(t testing.TB, url string) statszSnapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s statszSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCacheHitOnRepeatedRequest pins the PR-4 acceptance criterion: an
+// identical repeated /backbone request skips parsing and scoring
+// (X-Backbone-Cache: hit), re-posting the same body with a different
+// delta is still a hit, and a different method misses scoring but
+// reuses the parsed graph.
+func TestCacheHitOnRepeatedRequest(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	g := testGraph(t, 400)
+	body := encodeGraph(t, g, "csv").Bytes()
+
+	post := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+url, "text/csv", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, out)
+		}
+		return resp, out
+	}
+
+	resp1, out1 := post("/backbone?method=nc&delta=1.64")
+	if got := resp1.Header.Get("X-Backbone-Cache"); got != "miss" {
+		t.Errorf("first request X-Backbone-Cache = %q, want miss", got)
+	}
+	resp2, out2 := post("/backbone?method=nc&delta=1.64")
+	if got := resp2.Header.Get("X-Backbone-Cache"); got != "hit" {
+		t.Errorf("repeat request X-Backbone-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Error("cache hit served a different backbone")
+	}
+	// Different delta: same body, same method — still a score-cache hit.
+	resp3, _ := post("/backbone?method=nc&delta=3.5")
+	if got := resp3.Header.Get("X-Backbone-Cache"); got != "hit" {
+		t.Errorf("different-delta request X-Backbone-Cache = %q, want hit", got)
+	}
+	// Different method: scoring reruns, but the parsed graph is reused.
+	before := getStatsz(t, ts.URL)
+	resp4, _ := post("/backbone?method=df")
+	if got := resp4.Header.Get("X-Backbone-Cache"); got != "miss" {
+		t.Errorf("different-method request X-Backbone-Cache = %q, want miss", got)
+	}
+	after := getStatsz(t, ts.URL)
+	if after.GraphCache.Hits != before.GraphCache.Hits+1 {
+		t.Errorf("graph cache hits %d -> %d, want +1 (parsed graph not reused)", before.GraphCache.Hits, after.GraphCache.Hits)
+	}
+	if after.ScoreCache.Misses != before.ScoreCache.Misses+1 {
+		t.Errorf("score cache misses %d -> %d, want +1", before.ScoreCache.Misses, after.ScoreCache.Misses)
+	}
+
+	// /score rides the same table cache.
+	respScore, err := http.Post(ts.URL+"/score?method=nc", "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respScore.Body.Close()
+	if got := respScore.Header.Get("X-Backbone-Cache"); got != "hit" {
+		t.Errorf("/score after /backbone X-Backbone-Cache = %q, want hit", got)
+	}
+}
+
+// TestStatszEndpoint: the counters move as requests come in.
+func TestStatszEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	s0 := getStatsz(t, ts.URL)
+	if s0.Requests != 0 || s0.GraphCache.Entries != 0 {
+		t.Errorf("fresh server statsz = %+v", s0)
+	}
+	body := "a,b,3\nb,c,1\na,c,2\n"
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/backbone?method=nt&threshold=1.5", "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	s1 := getStatsz(t, ts.URL)
+	if s1.Requests != 3 {
+		t.Errorf("requests = %d, want 3", s1.Requests)
+	}
+	if s1.GraphCache.Entries != 1 || s1.GraphCache.Misses != 1 || s1.GraphCache.Hits != 2 {
+		t.Errorf("graph cache = %+v", s1.GraphCache)
+	}
+	if s1.ScoreCache.Entries != 1 || s1.ScoreCache.Misses != 1 || s1.ScoreCache.Hits != 2 {
+		t.Errorf("score cache = %+v", s1.ScoreCache)
+	}
+	if s1.GraphCache.Bytes <= 0 || s1.ScoreCache.Bytes <= 0 {
+		t.Errorf("cache byte accounting missing: %+v", s1)
+	}
+}
+
+// TestCacheDisabled: zero cache budgets mean every request is a miss
+// but still succeeds.
+func TestCacheDisabled(t *testing.T) {
+	s := newServer(serverConfig{
+		workers: 2, timeout: 5 * time.Second, maxBody: 1 << 24, logf: t.Logf,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := "a,b,3\nb,c,1\na,c,2\n"
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/backbone?method=nt&threshold=1.5", "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Backbone-Cache"); got != "miss" {
+			t.Errorf("request %d with caches disabled: X-Backbone-Cache = %q", i, got)
+		}
+	}
+}
+
+// TestCacheSingleFlight: concurrent identical slow requests score once
+// between them — the daemon's in-flight de-duplication.
+func TestCacheSingleFlight(t *testing.T) {
+	_, ts := newTestServer(t, 4, time.Minute)
+	g := testGraph(t, 256) // 32 slowtest ranges x 10ms ≈ 300ms of scoring
+	body := encodeGraph(t, g, "csv").Bytes()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/backbone?method=slowtest", "text/csv", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	st := getStatsz(t, ts.URL)
+	if st.ScoreCache.Misses != 1 {
+		t.Errorf("score cache misses = %d, want 1 (scoring ran more than once)", st.ScoreCache.Misses)
+	}
+	if st.ScoreCache.Hits+st.ScoreCache.Coalesced != 3 {
+		t.Errorf("hits+coalesced = %d+%d, want 3", st.ScoreCache.Hits, st.ScoreCache.Coalesced)
+	}
+}
+
+// TestBodyTooLarge: an oversized body maps to 413, not a parse error.
+func TestBodyTooLarge(t *testing.T) {
+	s := newServer(serverConfig{
+		workers: 1, timeout: 5 * time.Second, maxBody: 64, logf: t.Logf,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	big := strings.Repeat("a,b,1\n", 100)
+	resp, err := http.Post(ts.URL+"/backbone", "text/csv", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestExtractOnlyScorerMethods pins the PR-4 review fix: ds scores but
+// has no threshold rule — its default /backbone run must use its
+// extractor (not the cached-table path), while ds with ?top= and
+// /score still work through the table.
+func TestExtractOnlyScorerMethods(t *testing.T) {
+	_, ts := newTestServer(t, 2, 10*time.Second)
+	// A graph with enough total support for the Sinkhorn scaling.
+	body := "a,b,5\nb,c,4\nc,d,6\nd,a,3\na,c,2\nb,d,7\n"
+	for _, url := range []string{"/backbone?method=ds", "/backbone?method=ds&top=3", "/score?method=ds"} {
+		resp, err := http.Post(ts.URL+url, "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %s", url, resp.StatusCode, msg)
+		}
+	}
+	// mst stays a plain extractor: /backbone works, /score is 400.
+	resp, err := http.Post(ts.URL+"/backbone?method=mst", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("mst /backbone: status %d", resp.StatusCode)
+	}
+}
+
+// TestScoreValidationPreserved: the cached /score path keeps rejecting
+// what ScoreContext rejected — pruning options and undeclared
+// envelope parameters.
+func TestScoreValidationPreserved(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	edgeList := "a,b,1\nb,c,2\n"
+
+	resp, err := http.Post(ts.URL+"/score?method=nc&top=5", "text/csv", strings.NewReader(edgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/score with top accepted; want error")
+	}
+
+	env := `{"method":"nc","params":{"bogus":1},"edges":[{"src":"a","dst":"b","weight":3}]}`
+	resp, err = http.Post(ts.URL+"/score", "application/json", strings.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/score with undeclared envelope param: status %d, want 400", resp.StatusCode)
 	}
 }

@@ -1,0 +1,242 @@
+// Package cache provides a byte-bounded LRU memo cache with integrated
+// single-flight deduplication, the building block of the backboned
+// daemon's content-addressed request caching.
+//
+// The cache is generic over key and value: the daemon keys parsed
+// graphs by a content hash of the request body and score tables by
+// (graph hash, method). Do is the primary entry point — it returns a
+// cached value, joins an in-flight computation for the same key, or
+// computes and stores the value itself. Values never expire by time;
+// they are evicted least-recently-used when the configured byte budget
+// overflows.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	// Hits counts Do/Get calls answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that computed their value (Get misses too).
+	Misses uint64 `json:"misses"`
+	// Coalesced counts Do calls that joined another caller's in-flight
+	// computation instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries removed to honor the byte budget.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current entry count.
+	Entries int `json:"entries"`
+	// Bytes is the summed cost of current entries; MaxBytes the budget.
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// LRU is a concurrency-safe, byte-bounded, least-recently-used memo
+// cache with single-flight deduplication. A nil *LRU is a valid
+// always-miss cache: Do computes directly, Get always misses — so
+// callers can disable caching by configuration without branching.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	items   map[K]*list.Element
+	flights map[K]*flight[V]
+	stats   Stats
+}
+
+type entry[K comparable, V any] struct {
+	key  K
+	v    V
+	cost int64
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// New returns an LRU bounded to maxBytes of summed entry cost, or nil
+// (the always-miss cache) when maxBytes <= 0.
+func New[K comparable, V any](maxBytes int64) *LRU[K, V] {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &LRU[K, V]{
+		max:     maxBytes,
+		ll:      list.New(),
+		items:   make(map[K]*list.Element),
+		flights: make(map[K]*flight[V]),
+	}
+}
+
+// Do returns the value for key: from the cache, by joining an
+// identical in-flight computation, or by running compute (which
+// reports the value's cost in bytes). hit is true when compute did not
+// run in this call — the caller skipped the work. Failed computations
+// are never cached; their error goes to the leader, and waiters retry
+// (one of them becoming the new leader) unless their own ctx is done.
+func (c *LRU[K, V]) Do(ctx context.Context, key K, compute func() (V, int64, error)) (v V, hit bool, err error) {
+	if c == nil {
+		v, _, err := compute()
+		return v, false, err
+	}
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			v := el.Value.(*entry[K, V]).v
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.v, true, nil
+				}
+				// The leader failed — possibly on its own context
+				// (cancel, timeout), which must not poison us. Retry;
+				// one waiter becomes the new leader.
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					var zero V
+					return zero, false, ctxErr
+				}
+				continue
+			case <-ctx.Done():
+				var zero V
+				return zero, false, ctx.Err()
+			}
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		c.flights[key] = f
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		c.lead(key, f, compute)
+		return f.v, false, f.err
+	}
+}
+
+// errComputePanicked is what waiters observe when a leader's compute
+// panicked; they retry rather than inherit it.
+var errComputePanicked = errors.New("cache: compute panicked")
+
+// lead runs one computation as the flight's leader. The deferred
+// cleanup runs even if compute panics: the flight is removed and its
+// done channel closed (with an error set) so the key is never wedged —
+// waiters retry, and the panic itself keeps unwinding to the caller
+// (net/http's handler recovery, in the daemon).
+func (c *LRU[K, V]) lead(key K, f *flight[V], compute func() (V, int64, error)) {
+	var cost int64
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = errComputePanicked
+		}
+		c.mu.Lock()
+		delete(c.flights, key)
+		if completed && f.err == nil {
+			c.add(key, f.v, cost)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.v, cost, f.err = compute()
+	completed = true
+}
+
+// Get returns the cached value for key without computing anything.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry[K, V]).v, true
+}
+
+// Add inserts (or refreshes) a value with the given cost, evicting
+// least-recently-used entries as needed.
+func (c *LRU[K, V]) Add(key K, v V, cost int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.add(key, v, cost)
+}
+
+// add inserts under c.mu. Values costing more than the whole budget
+// are not stored at all.
+func (c *LRU[K, V]) add(key K, v V, cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	if cost > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry[K, V])
+		c.bytes += cost - e.cost
+		e.v, e.cost = v, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry[K, V]{key: key, v: v, cost: cost})
+		c.bytes += cost
+	}
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry[K, V])
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.cost
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *LRU[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache's counters. A nil cache
+// reports zeros.
+func (c *LRU[K, V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.bytes
+	s.MaxBytes = c.max
+	return s
+}

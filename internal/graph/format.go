@@ -180,11 +180,26 @@ func firstLine(prefix []byte) []byte {
 	return nil
 }
 
+// sizedReader augments a buffered reader with the total number of
+// bytes left to read, so the edge-list codec can presize its label
+// index and edge buffers (see Builder.presize). Len counts the bytes
+// still buffered plus whatever the original source reports.
+type sizedReader struct {
+	*bufio.Reader
+	source interface{ Len() int }
+}
+
+func (s *sizedReader) Len() int { return s.Buffered() + s.source.Len() }
+
 // ReadGraph parses an edge list from r. Gzip-compressed input is
 // detected by magic number and decompressed transparently; the format
 // is then taken from o.Format or sniffed from the leading content.
+// When r knows its remaining size (bytes.Reader, strings.Reader — the
+// daemon's in-memory request bodies) and the input is not compressed,
+// the size is forwarded to the codec for allocation presizing.
 func ReadGraph(r io.Reader, o ReadOptions) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 64<<10)
+	gzipped := false
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
@@ -192,6 +207,7 @@ func ReadGraph(r io.Reader, o ReadOptions) (*Graph, error) {
 		}
 		defer zr.Close()
 		br = bufio.NewReaderSize(zr, 64<<10)
+		gzipped = true
 	}
 	var f *Format
 	if o.Format != "" {
@@ -209,7 +225,11 @@ func ReadGraph(r io.Reader, o ReadOptions) (*Graph, error) {
 	if f == nil || f.Read == nil {
 		return nil, fmt.Errorf("graph: %w: no readable format", ErrUnknownFormat)
 	}
-	return f.Read(br, o.Directed)
+	var in io.Reader = br
+	if src, ok := r.(interface{ Len() int }); ok && !gzipped {
+		in = &sizedReader{Reader: br, source: src}
+	}
+	return f.Read(in, o.Directed)
 }
 
 // WriteGraph serializes g's canonical edge list to w in the selected

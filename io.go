@@ -55,6 +55,12 @@ func WithGzip() IOOption {
 // format is sniffed from the content unless WithFormat selects one;
 // gzip-compressed input is decompressed transparently either way.
 //
+// Decoding streams through a chunked, allocation-free codec that fans
+// chunks out to GOMAXPROCS shard parsers on multi-core machines; when
+// r knows its size (bytes.Reader, strings.Reader), internal buffers
+// are presized from it. Results are identical regardless of
+// parallelism or reader type.
+//
 //	g, err := repro.ReadGraph(f)                                  // sniffed
 //	g, err := repro.ReadGraph(f, repro.WithFormat("ndjson"))
 //	g, err := repro.ReadGraph(f, repro.WithDirected(true))

@@ -34,6 +34,7 @@ type config struct {
 	topFrac  float64
 	fracSet  bool
 	parallel bool
+	scores   *Scores
 	progress func(done, total int)
 	lenient  bool // skip params the method does not declare (BackboneAll)
 	err      error
@@ -113,6 +114,19 @@ func WithTopFraction(f float64) Option {
 // either way.
 func WithParallel() Option {
 	return func(c *config) { c.parallel = true }
+}
+
+// WithScores supplies a precomputed significance table so Backbone can
+// skip scoring and go straight to pruning — the backboned daemon's
+// score cache rides on this. The table must belong to the same *Graph
+// value (enforced), and must have been produced by the selected
+// method — that pairing is the caller's contract and cannot be
+// verified, because Scores.Method names the concrete scorer variant
+// ("nc-parallel"), not the registry entry. Method parameters (delta,
+// alpha, ...) still apply: they only move the pruning threshold, never
+// the table itself.
+func WithScores(s *Scores) Option {
+	return func(c *config) { c.scores = s }
 }
 
 // WithProgress registers a callback for long runs: fn is invoked after
@@ -211,12 +225,16 @@ func BackboneContext(ctx context.Context, g *Graph, opts ...Option) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	if c.scores != nil && c.scores.G != g {
+		return nil, &ParamError{Method: m.Name, Param: "scores", Reason: "precomputed table belongs to a different graph"}
+	}
 	so := filter.ScoreOpts{Parallel: c.parallel, Progress: c.progress}
 	start := time.Now()
-	var scores *Scores
+	scores := c.scores
 	var bb *Graph
 	var params filter.Params
-	if c.topKSet || c.fracSet {
+	switch {
+	case c.topKSet || c.fracSet:
 		if !m.CanScore() {
 			return nil, fmt.Errorf("repro: method %q has a fixed backbone size and does not support top-k pruning: %w", m.Name, filter.ErrNoScorer)
 		}
@@ -224,16 +242,26 @@ func BackboneContext(ctx context.Context, g *Graph, opts ...Option) (*Result, er
 		if err != nil {
 			return nil, err
 		}
-		scores, err = m.ScoreCtx(ctx, g, so)
-		if err != nil {
-			return nil, err
+		if scores == nil {
+			if scores, err = m.ScoreCtx(ctx, g, so); err != nil {
+				return nil, err
+			}
 		}
 		if c.topKSet {
 			bb = scores.TopK(c.topK)
 		} else {
 			bb = scores.TopFraction(c.topFrac)
 		}
-	} else {
+	case scores != nil:
+		if m.Cut == nil {
+			return nil, fmt.Errorf("repro: method %q has no threshold rule to prune a precomputed table: %w", m.Name, filter.ErrNoScorer)
+		}
+		params, err = m.Resolve(c.params)
+		if err != nil {
+			return nil, err
+		}
+		bb = scores.Threshold(m.Cut(params))
+	default:
 		bb, scores, params, err = m.BackboneScoredCtx(ctx, g, c.params, so)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -331,5 +332,51 @@ func TestRegistryIsolation(t *testing.T) {
 	}
 	if err := r.Register(&clone); err == nil {
 		t.Error("duplicate registration accepted")
+	}
+}
+
+// TestWithScores: a precomputed table lets Backbone skip scoring and
+// produce the identical result — for the method's native threshold and
+// for top-k pruning — while a table from a different graph is a typed
+// parameter error.
+func TestWithScores(t *testing.T) {
+	g := pipelineGraph(t)
+	scores, err := Score(g, WithMethod("nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Backbone(g, WithMethod("nc"), WithDelta(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Backbone(g, WithMethod("nc"), WithDelta(0.8), WithScores(scores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backbone.NumEdges() != want.Backbone.NumEdges() || got.Params["delta"] != 0.8 {
+		t.Errorf("WithScores backbone: %d edges (params %v), want %d",
+			got.Backbone.NumEdges(), got.Params, want.Backbone.NumEdges())
+	}
+	if got.Scores != scores {
+		t.Error("result does not carry the supplied table")
+	}
+
+	wantTop, err := Backbone(g, WithMethod("nc"), WithTopK(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, err := Backbone(g, WithMethod("nc"), WithTopK(4), WithScores(scores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTop.Backbone.NumEdges() != wantTop.Backbone.NumEdges() {
+		t.Errorf("WithScores top-k: %d edges, want %d", gotTop.Backbone.NumEdges(), wantTop.Backbone.NumEdges())
+	}
+
+	other := pipelineGraph(t)
+	var pe *ParamError
+	if _, err := Backbone(other, WithMethod("nc"), WithScores(scores)); !errors.As(err, &pe) {
+		t.Errorf("foreign-graph table: err = %v, want *ParamError", err)
 	}
 }
