@@ -11,6 +11,7 @@ package repro
 // full-size outputs recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -34,7 +35,7 @@ func benchCountry(b *testing.B) *exp.Country {
 
 func BenchmarkFig1CommunityRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig1(1, 60, 3); err != nil {
+		if _, err := exp.Fig1(context.Background(), 1, 60, 3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func BenchmarkFig2ScoreDistributions(b *testing.B) {
 	g := c.Datasets[1].Latest()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig2("Country Space", g, []float64{1, 2, 3}, 24); err != nil {
+		if _, err := exp.Fig2(context.Background(), "Country Space", g, []float64{1, 2, 3}, 24); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkFig2ScoreDistributions(b *testing.B) {
 
 func BenchmarkFig3ToyExample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig3(); err != nil {
+		if _, err := exp.Fig3(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func BenchmarkFig4Recovery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
-		if _, err := exp.Fig4(cfg); err != nil {
+		if _, err := exp.Fig4(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -91,7 +92,7 @@ func BenchmarkFig7Coverage(b *testing.B) {
 	c := benchCountry(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig7(c); err != nil {
+		if _, err := exp.Fig7(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +102,7 @@ func BenchmarkFig8Stability(b *testing.B) {
 	c := benchCountry(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig8(c); err != nil {
+		if _, err := exp.Fig8(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func BenchmarkTable1VarianceValidation(b *testing.B) {
 	c := benchCountry(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Table1(c); err != nil {
+		if _, err := exp.Table1(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkTable2Quality(b *testing.B) {
 	c := benchCountry(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Table2(c); err != nil {
+		if _, err := exp.Table2(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,7 +133,7 @@ func BenchmarkCaseStudy(b *testing.B) {
 		CoreSkills: 12, GenericSkills: 20}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.CaseStudy(cfg); err != nil {
+		if _, err := exp.CaseStudy(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

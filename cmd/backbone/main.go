@@ -10,7 +10,16 @@
 //	backbone -method mst edges.csv
 //	backbone -method ds edges.csv
 //	backbone -method nc -top 500 edges.csv        # fixed-size backbone
+//	backbone -eval edges.csv                      # grade every method (report)
+//	backbone -eval -methods nc,df -frac 0.05 edges.csv
 //	backbone -list                                # show registered methods
+//
+// -eval switches the command from extraction to evaluation: every
+// registered method (or the -methods subset) is cut to one common
+// backbone size (-top / -frac, default the top 10% of edges) and graded
+// under the paper's criteria — coverage always; stability when -next
+// names a second edge list (the t+1 observation of the same network).
+// The report renders as an aligned table, csv, or json (-outformat).
 //
 // The method list, per-method flags and validation are generated from
 // the method registry: adding an algorithm anywhere in the module is a
@@ -28,13 +37,19 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -74,6 +89,9 @@ type app struct {
 	format   *string
 	outfmt   *string
 	list     *bool
+	eval     *bool
+	methods  *string
+	next     *string
 	// paramFlags maps parameter name -> parsed value holder; integer
 	// parameters get their own holder so -k renders and parses as int.
 	floatFlags map[string]*float64
@@ -95,6 +113,9 @@ func newApp() *app {
 	a.format = a.fs.String("format", "", "input format: "+strings.Join(formatNames(), ", ")+" (default: sniffed from content)")
 	a.outfmt = a.fs.String("outformat", "", "output format (default: inferred from the -o extension, else csv)")
 	a.list = a.fs.Bool("list", false, "list registered methods and their parameters, then exit")
+	a.eval = a.fs.Bool("eval", false, "evaluate methods under the paper's criteria instead of extracting one backbone")
+	a.methods = a.fs.String("methods", "", "comma-separated method subset for -eval (default: every registered method)")
+	a.next = a.fs.String("next", "", "edge list of the next observation (enables the -eval stability criterion)")
 
 	// Generate one flag per distinct parameter name across all
 	// registered methods, annotating which method uses it for what.
@@ -193,6 +214,18 @@ func (a *app) options() ([]repro.Option, error) {
 			opts = append(opts, repro.WithParam(name, *a.floatFlags[name]))
 		}
 	}
+	shared, err := a.sharedRunOpts(set)
+	if err != nil {
+		return nil, err
+	}
+	return append(opts, shared...), nil
+}
+
+// sharedRunOpts validates and translates the pruning/parallel flags
+// shared by the extraction and evaluation modes — one copy of the
+// -top/-frac rules for both.
+func (a *app) sharedRunOpts(set map[string]bool) ([]repro.Option, error) {
+	var opts []repro.Option
 	if set["top"] && set["frac"] {
 		return nil, fmt.Errorf("-top and -frac are mutually exclusive")
 	}
@@ -211,6 +244,215 @@ func (a *app) options() ([]repro.Option, error) {
 		opts = append(opts, repro.WithParallel())
 	}
 	return opts, nil
+}
+
+// evalOptions assembles the evaluation option set: the method subset,
+// the shared pruning/parallel flags (same rules as extraction mode,
+// via sharedRunOpts), and every explicitly set parameter flag as a
+// lenient ride-along (the engine validates that at least one selected
+// method declares it).
+func (a *app) evalOptions() ([]repro.Option, error) {
+	var opts []repro.Option
+	set := map[string]bool{}
+	a.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch {
+	case *a.methods != "":
+		var names []string
+		for _, name := range strings.Split(*a.methods, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		opts = append(opts, repro.WithMethods(names...))
+	case set["method"]:
+		opts = append(opts, repro.WithMethods(*a.method))
+	}
+	for name := range set {
+		switch {
+		case a.intFlags[name] != nil:
+			opts = append(opts, repro.WithParam(name, float64(*a.intFlags[name])))
+		case a.floatFlags[name] != nil:
+			opts = append(opts, repro.WithParam(name, *a.floatFlags[name]))
+		}
+	}
+	shared, err := a.sharedRunOpts(set)
+	if err != nil {
+		return nil, err
+	}
+	return append(opts, shared...), nil
+}
+
+// evalOutFormat resolves the -eval report encoding: an explicit
+// -outformat must be table, csv or json; without one the -o extension
+// decides (.json → json, .csv → csv), defaulting to the aligned table —
+// mirroring the extraction mode's extension inference.
+func (a *app) evalOutFormat() (string, error) {
+	switch *a.outfmt {
+	case "table", "csv", "json":
+		return *a.outfmt, nil
+	case "":
+		switch {
+		case strings.HasSuffix(*a.out, ".json"):
+			return "json", nil
+		case strings.HasSuffix(*a.out, ".csv"):
+			return "csv", nil
+		}
+		return "table", nil
+	default:
+		return "", fmt.Errorf("-eval supports -outformat table, csv or json (got %q)", *a.outfmt)
+	}
+}
+
+// runEval grades the registered methods on g and renders the report to
+// -o (default stdout) in the pre-validated format (table, csv or
+// json). SIGINT cancels the run mid-scoring.
+func (a *app) runEval(g *repro.Graph, opts []repro.Option, format string, readOpts []repro.IOOption, stdout, stderr io.Writer) error {
+	if *a.next != "" {
+		f, err := os.Open(*a.next)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		next, err := repro.ReadGraph(f, readOpts...)
+		if err != nil {
+			return fmt.Errorf("-next %s: %w", *a.next, err)
+		}
+		// The two files assign node IDs in their own first-appearance
+		// order; the stability join compares by ID, so realign the next
+		// snapshot onto the evaluated graph's label space.
+		opts = append(opts, repro.WithNextSnapshot(repro.AlignNodes(g, next)))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := repro.CompareContext(ctx, g, opts...)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	var outFile *os.File
+	if *a.out != "" {
+		f, err := os.Create(*a.out)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		w = f
+	}
+	var writeErr error
+	switch format {
+	case "table":
+		_, writeErr = io.WriteString(w, renderEvalTable(rep))
+	case "csv":
+		writeErr = writeEvalCSV(w, rep)
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		writeErr = enc.Encode(rep)
+	}
+	if outFile != nil {
+		// Close errors matter here: a short write to a full disk must not
+		// exit 0 with a truncated report.
+		if err := outFile.Close(); writeErr == nil {
+			writeErr = err
+		}
+	}
+	if writeErr != nil {
+		return fmt.Errorf("write report: %w", writeErr)
+	}
+	fmt.Fprintf(stderr, "evaluated %d methods on %d nodes / %d edges (target %d edges, %d scored, %v)\n",
+		len(rep.Methods), rep.Nodes, rep.Edges, rep.TargetEdges, rep.ScoredMethods,
+		time.Duration(rep.DurationMs)*time.Millisecond)
+	return nil
+}
+
+// evalCell formats one criterion value; NaN renders as the paper's n/a.
+func evalCell(f repro.Float) string {
+	if v := float64(f); !math.IsNaN(v) {
+		return fmt.Sprintf("%.3f", v)
+	}
+	return "n/a"
+}
+
+var evalHeader = []string{"method", "edges", "share", "coverage", "stability", "recovery", "quality", "composite", "ms"}
+
+// evalRows flattens the report into the shared table/csv cell grid.
+func evalRows(rep *repro.EvalReport) [][]string {
+	rows := make([][]string, 0, len(rep.Methods))
+	for _, me := range rep.Methods {
+		if me.Err != "" {
+			rows = append(rows, []string{me.Method, "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a",
+				strconv.FormatInt(me.DurationMs, 10) + "  (" + me.Err + ")"})
+			continue
+		}
+		rows = append(rows, []string{
+			me.Method, strconv.Itoa(me.Edges), evalCell(me.EdgeShare),
+			evalCell(me.Coverage), evalCell(me.Stability), evalCell(me.Recovery),
+			evalCell(me.Quality), evalCell(me.Composite), strconv.FormatInt(me.DurationMs, 10),
+		})
+	}
+	return rows
+}
+
+// renderEvalTable draws the aligned evaluation grid plus the ranking.
+func renderEvalTable(rep *repro.EvalReport) string {
+	rows := append([][]string{evalHeader}, evalRows(rep)...)
+	widths := make([]int, len(evalHeader))
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "evaluation — %d nodes, %d edges, rankable methods cut to %d edges\n",
+		rep.Nodes, rep.Edges, rep.TargetEdges)
+	for ri, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "ranking: %s\n", strings.Join(rep.Ranking, " > "))
+	return b.String()
+}
+
+// writeEvalCSV emits the grid as machine-readable csv: NaN cells
+// empty, plus a trailing error column so consumers can tell an
+// infeasible method ("n/a") from a genuine zero-edge backbone.
+func writeEvalCSV(w io.Writer, rep *repro.EvalReport) error {
+	if _, err := fmt.Fprintln(w, strings.Join(evalHeader, ",")+",error"); err != nil {
+		return err
+	}
+	for _, me := range rep.Methods {
+		cell := func(f repro.Float) string {
+			if v := float64(f); !math.IsNaN(v) {
+				return strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			return ""
+		}
+		errCell := strings.ReplaceAll(strings.ReplaceAll(me.Err, "\n", " "), ",", ";")
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%s,%s,%s,%s,%d,%s\n",
+			me.Method, me.Edges, cell(me.EdgeShare), cell(me.Coverage), cell(me.Stability),
+			cell(me.Recovery), cell(me.Quality), cell(me.Composite), me.DurationMs, errCell); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func paramNames(m *repro.Method) string {
@@ -240,9 +482,24 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 		a.fs.Usage()
 		return fmt.Errorf("expected exactly one input file (use - for stdin)")
 	}
-	opts, err := a.options()
-	if err != nil {
-		return err
+
+	// Validate the flag combination — and, for -eval, the report
+	// encoding — before touching the input.
+	var opts []repro.Option
+	var evalFormat string
+	{
+		var err error
+		if *a.eval {
+			if evalFormat, err = a.evalOutFormat(); err != nil {
+				return err
+			}
+			opts, err = a.evalOptions()
+		} else {
+			opts, err = a.options()
+		}
+		if err != nil {
+			return err
+		}
 	}
 
 	in := stdin
@@ -261,6 +518,10 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 	g, err := repro.ReadGraph(in, readOpts...)
 	if err != nil {
 		return err
+	}
+
+	if *a.eval {
+		return a.runEval(g, opts, evalFormat, readOpts, stdout, stderr)
 	}
 
 	res, err := repro.Backbone(g, opts...)

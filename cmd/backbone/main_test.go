@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -229,5 +231,118 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := newApp().run([]string{"-method", "nc", "-parallel", "-"}, strings.NewReader(testCSV), &stdout, &stderr); err != nil {
 		t.Errorf("stdin + parallel: %v", err)
+	}
+}
+
+// TestCLIEval drives the -eval mode in each output encoding: the
+// default aligned table with a ranking line, machine-readable csv, and
+// a JSON report whose undefined criteria are null (never NaN).
+func TestCLIEval(t *testing.T) {
+	in := writeTestCSV(t)
+
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-eval", in}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"method", "coverage", "ranking:", "nc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "evaluated") {
+		t.Errorf("summary missing from stderr: %q", stderr.String())
+	}
+
+	stdout.Reset()
+	if err := newApp().run([]string{"-eval", "-methods", "nc,df,mst", "-frac", "0.5", "-outformat", "csv", in}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 4 { // header + three methods
+		t.Fatalf("csv output has %d lines:\n%s", len(lines), stdout.String())
+	}
+	if !strings.HasPrefix(lines[0], "method,edges,share,coverage") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+
+	stdout.Reset()
+	if err := newApp().run([]string{"-eval", "-methods", "nc", "-outformat", "json", in}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	rep := &repro.EvalReport{}
+	if err := json.Unmarshal(stdout.Bytes(), rep); err != nil {
+		t.Fatalf("json output does not decode: %v", err)
+	}
+	if len(rep.Methods) != 1 || rep.Methods[0].Method != "nc" {
+		t.Fatalf("json report: %+v", rep.Methods)
+	}
+	if !strings.Contains(stdout.String(), `"stability": null`) {
+		t.Errorf("undefined stability not null in CLI json:\n%s", stdout.String())
+	}
+
+	// -eval with a ride-along parameter no selected method declares, or
+	// an unsupported output encoding, errors out.
+	if err := newApp().run([]string{"-eval", "-methods", "mst", "-delta", "1", in}, nil, &stdout, &stderr); err == nil {
+		t.Error("-eval accepted a ride-along no method declares")
+	}
+	if err := newApp().run([]string{"-eval", "-outformat", "ndjson", in}, nil, &stdout, &stderr); err == nil {
+		t.Error("-eval accepted -outformat ndjson")
+	}
+	if err := newApp().run([]string{"-eval", "-top", "3", "-frac", "0.5", in}, nil, &stdout, &stderr); err == nil {
+		t.Error("-eval accepted -top with -frac")
+	}
+	if err := newApp().run([]string{"-eval", "-top", "0", in}, nil, &stdout, &stderr); err == nil {
+		t.Error("-eval accepted -top 0")
+	}
+}
+
+// TestCLIEvalNextSnapshot: -next enables the stability criterion, and
+// the next snapshot is aligned by node label — a next file listing the
+// same network in a different row order (so its first-appearance node
+// IDs all differ) must produce the identical stability values.
+func TestCLIEvalNextSnapshot(t *testing.T) {
+	in := writeTestCSV(t)
+	dir := t.TempDir()
+	next := filepath.Join(dir, "next.csv")
+	if err := os.WriteFile(next, []byte("a,b,11\na,c,8\nb,c,2\nc,d,9\nd,e,6\nd,a,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The same snapshot with rows reversed: node IDs now differ from
+	// the evaluated graph's, so an ID-keyed join without label
+	// alignment would correlate unrelated pairs.
+	nextShuffled := filepath.Join(dir, "next-shuffled.csv")
+	if err := os.WriteFile(nextShuffled, []byte("d,a,5\nd,e,6\nc,d,9\nb,c,2\na,c,8\na,b,11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	evalStability := func(nextPath string) map[string]float64 {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if err := newApp().run([]string{"-eval", "-methods", "nc,nt", "-frac", "0.5", "-next", nextPath, "-outformat", "json", in}, nil, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		rep := &repro.EvalReport{}
+		if err := json.Unmarshal(stdout.Bytes(), rep); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]float64{}
+		for _, me := range rep.Methods {
+			if me.Err != "" {
+				t.Fatalf("%s: %s", me.Method, me.Err)
+			}
+			if math.IsNaN(float64(me.Stability)) {
+				t.Errorf("%s: stability NaN despite -next", me.Method)
+			}
+			out[me.Method] = float64(me.Stability)
+		}
+		return out
+	}
+	ordered := evalStability(next)
+	shuffled := evalStability(nextShuffled)
+	for method, want := range ordered {
+		if got := shuffled[method]; got != want {
+			t.Errorf("%s: stability %v with shuffled next, %v ordered — label alignment broken", method, got, want)
+		}
 	}
 }

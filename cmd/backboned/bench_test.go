@@ -49,3 +49,39 @@ func benchDaemon(b *testing.B, unique bool) {
 
 func BenchmarkDaemonBackboneCold(b *testing.B)     { benchDaemon(b, true) }
 func BenchmarkDaemonBackboneCacheHit(b *testing.B) { benchDaemon(b, false) }
+
+// BenchmarkDaemonEvaluateCacheHit measures a full multi-method
+// /evaluate report served from the content-addressed score cache: the
+// warm-up request scores every method once, every measured request
+// re-grades the identical body with zero scoring (asserted via the
+// X-Backbone-Cache header).
+func BenchmarkDaemonEvaluateCacheHit(b *testing.B) {
+	s := newServer(serverConfig{
+		workers: 4, timeout: time.Minute, maxBody: 1 << 28,
+		graphCacheBytes: 256 << 20, scoreCacheBytes: 256 << 20,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := encodeGraph(b, testGraph(b, 20_000), "csv").Bytes()
+	url := ts.URL + "/evaluate?methods=nc,df,nt,mst"
+	post := func(wantCache string) {
+		resp, err := http.Post(url, "text/csv", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Backbone-Cache"); wantCache != "" && got != wantCache {
+			b.Fatalf("X-Backbone-Cache = %q, want %q", got, wantCache)
+		}
+	}
+	post("miss") // warm: every measured request is a pure cache hit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post("hit")
+	}
+}

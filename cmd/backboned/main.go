@@ -11,9 +11,10 @@
 //	GET  /methods    registered methods and parameter schemas as JSON
 //	GET  /formats    registered edge-list formats as JSON
 //	GET  /healthz    liveness probe
-//	GET  /statsz     uptime, request and cache counters as JSON
+//	GET  /statsz     uptime, request, cache and evaluate counters as JSON
 //	POST /backbone   extract a backbone from the request body's edge list
 //	POST /score      per-edge significance table for the body's edge list
+//	POST /evaluate   grade every method on the body's edge list (JSON report)
 //
 // The POST body is an edge list in any registered format (csv, tsv,
 // ndjson; gzip accepted; format sniffed from content unless ?format=
@@ -40,8 +41,11 @@
 // parsing; a repeated (body, method) pair skips scoring too, whatever
 // its delta/alpha/top parameters — responses say which via the
 // X-Backbone-Cache: hit|miss header, and GET /statsz exposes the
-// counters. -pprof starts net/http/pprof on a side listener for
-// production profiling.
+// counters. POST /evaluate rides the same caches per method: once a
+// body's tables are cached (by earlier /backbone, /score or /evaluate
+// calls), re-evaluating it returns the full multi-method report
+// without scoring a single edge. -pprof starts net/http/pprof on a
+// side listener for production profiling.
 package main
 
 import (

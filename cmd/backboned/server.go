@@ -74,6 +74,11 @@ type server struct {
 	scores   *cache.LRU[scoreKey, *repro.Scores]
 	start    time.Time
 	requests atomic.Uint64
+	// evalRequests counts POST /evaluate calls; evalCacheSkips the
+	// method-scoring runs those calls skipped thanks to the
+	// content-addressed score cache (one per cached table).
+	evalRequests   atomic.Uint64
+	evalCacheSkips atomic.Uint64
 	// onError observes every request failure after status mapping; a
 	// test hook, nil outside tests.
 	onError func(status int, err error)
@@ -103,6 +108,7 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("/formats", s.handleFormats)
 	s.mux.HandleFunc("/backbone", s.handleRun)
 	s.mux.HandleFunc("/score", s.handleRun)
+	s.mux.HandleFunc("/evaluate", s.handleEvaluate)
 	return s
 }
 
@@ -173,9 +179,10 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 GET  /methods            registered methods and their parameter schemas (JSON)
 GET  /formats            registered edge-list formats (JSON)
 GET  /healthz            liveness probe
-GET  /statsz             uptime, request and cache counters (JSON)
+GET  /statsz             uptime, request, cache and evaluate counters (JSON)
 POST /backbone           extract a backbone from the edge list in the body
 POST /score              per-edge significance table for the body's edge list
+POST /evaluate           grade every method on the body's edge list (JSON report)
 
 Query parameters for POST: method (default nc), any method parameter
 (delta, alpha, ...), top, frac, parallel, directed, format (input),
@@ -183,10 +190,17 @@ outformat (csv|tsv|ndjson), response=json. The body is an edge list in
 any registered format (gzip accepted, format sniffed), or a JSON
 envelope {"method":..., "params":{...}, "edges":[{"src":..,"dst":..,"weight":..}]}.
 
+POST /evaluate compares every registered method (or ?methods=nc,df,...)
+at one common backbone size (?top= / ?frac=, default the top 10% of
+edges) under the paper's criteria and returns the scored ranking as
+JSON; undefined criteria (NaN) encode as null.
+
 Responses carry X-Backbone-Cache: "hit" when a content-addressed cache
 match let the request skip parsing and scoring, else "miss". Re-posting
 the same body with different method parameters (delta, alpha, top, ...)
 is always a hit: parameters move thresholds, never the score table.
+/evaluate reports "hit" when every method's table was cached — the
+whole comparison ran without scoring a single edge.
 `)
 }
 
@@ -338,36 +352,36 @@ func buildEnvelopeGraph(env *envelope, directed bool) (*repro.Graph, error) {
 	return b.Build(), nil
 }
 
-// parseRun turns the HTTP request (body already read in full) into a
-// runRequest, resolving the graph through the content-addressed cache:
-// identical bodies parse once, concurrent identical bodies parse once
-// between them. The int return is the HTTP status when err != nil.
-func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*runRequest, int, error) {
+// resolveGraph turns a fully read request body into a parsed graph
+// through the content-addressed cache: identical bodies parse once,
+// concurrent identical bodies parse once between them. It handles both
+// raw edge lists (format from ?format=, the Content-Type, or sniffed)
+// and JSON envelopes; outFormat is the format name the response should
+// mirror ("" when sniffed or enveloped). The int return is the HTTP
+// status when err != nil.
+func (s *server) resolveGraph(ctx context.Context, r *http.Request, body []byte) (g *repro.Graph, gkey graphKey, env *envelope, outFormat string, status int, err error) {
 	q := r.URL.Query()
-	req := &runRequest{}
-
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil {
 		ct = mt
 	}
 
-	var env *envelope
 	if ct == "application/json" {
 		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.UseNumber()
 		env = &envelope{}
 		if err := dec.Decode(env); err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("bad JSON envelope: %v", err)
+			return nil, gkey, nil, "", http.StatusBadRequest, fmt.Errorf("bad JSON envelope: %v", err)
 		}
 		if len(env.Edges) == 0 {
-			return nil, http.StatusBadRequest, fmt.Errorf("JSON envelope has no edges")
+			return nil, gkey, nil, "", http.StatusBadRequest, fmt.Errorf("JSON envelope has no edges")
 		}
 		directed := env.Directed
 		if v := q.Get("directed"); v != "" {
 			directed = v == "true" || v == "1"
 		}
-		req.gkey = graphKey{sum: sha256.Sum256(body), mode: "envelope", directed: directed}
-		g, _, err := s.graphs.Do(ctx, req.gkey, func() (*repro.Graph, int64, error) {
+		gkey = graphKey{sum: sha256.Sum256(body), mode: "envelope", directed: directed}
+		g, _, err := s.graphs.Do(ctx, gkey, func() (*repro.Graph, int64, error) {
 			g, err := buildEnvelopeGraph(env, directed)
 			if err != nil {
 				return nil, 0, err
@@ -375,39 +389,54 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 			return g, graphCost(g), nil
 		})
 		if err != nil {
-			return nil, parseStatus(err), err
+			return nil, gkey, nil, "", parseStatus(err), err
 		}
-		req.g = g
-	} else {
-		directed := q.Get("directed") == "true" || q.Get("directed") == "1"
-		inFormat := q.Get("format")
-		if inFormat == "" {
-			inFormat = contentTypeFormat(ct)
-		}
-		mode := "sniff"
-		readOpts := []repro.IOOption{repro.WithDirected(directed)}
-		if inFormat != "" {
-			f, err := repro.LookupFormat(inFormat)
-			if err != nil {
-				return nil, http.StatusBadRequest, err
-			}
-			req.outFormat = f.Name // default response format mirrors input
-			readOpts = append(readOpts, repro.WithFormat(f.Name))
-			mode = f.Name
-		}
-		req.gkey = graphKey{sum: sha256.Sum256(body), mode: mode, directed: directed}
-		g, _, err := s.graphs.Do(ctx, req.gkey, func() (*repro.Graph, int64, error) {
-			g, err := repro.ReadGraph(bytes.NewReader(body), readOpts...)
-			if err != nil {
-				return nil, 0, fmt.Errorf("bad edge list: %w", err)
-			}
-			return g, graphCost(g), nil
-		})
-		if err != nil {
-			return nil, parseStatus(err), err
-		}
-		req.g = g
+		return g, gkey, env, "", 0, nil
 	}
+
+	directed := q.Get("directed") == "true" || q.Get("directed") == "1"
+	inFormat := q.Get("format")
+	if inFormat == "" {
+		inFormat = contentTypeFormat(ct)
+	}
+	mode := "sniff"
+	readOpts := []repro.IOOption{repro.WithDirected(directed)}
+	if inFormat != "" {
+		f, err := repro.LookupFormat(inFormat)
+		if err != nil {
+			return nil, gkey, nil, "", http.StatusBadRequest, err
+		}
+		outFormat = f.Name // default response format mirrors input
+		readOpts = append(readOpts, repro.WithFormat(f.Name))
+		mode = f.Name
+	}
+	gkey = graphKey{sum: sha256.Sum256(body), mode: mode, directed: directed}
+	g, _, err = s.graphs.Do(ctx, gkey, func() (*repro.Graph, int64, error) {
+		g, err := repro.ReadGraph(bytes.NewReader(body), readOpts...)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad edge list: %w", err)
+		}
+		return g, graphCost(g), nil
+	})
+	if err != nil {
+		return nil, gkey, nil, "", parseStatus(err), err
+	}
+	return g, gkey, nil, outFormat, 0, nil
+}
+
+// parseRun turns the HTTP request (body already read in full) into a
+// runRequest: the graph via resolveGraph, then method selection,
+// parameters and response shaping. The int return is the HTTP status
+// when err != nil.
+func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*runRequest, int, error) {
+	q := r.URL.Query()
+	req := &runRequest{}
+
+	g, gkey, env, outFormat, status, err := s.resolveGraph(ctx, r, body)
+	if err != nil {
+		return nil, status, err
+	}
+	req.g, req.gkey, req.outFormat = g, gkey, outFormat
 
 	// Method selection and parameters: query overrides envelope.
 	methodName := "nc"
@@ -429,13 +458,19 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 			req.params[name] = v
 			req.opts = append(req.opts, repro.WithParam(name, v))
 		}
-		if env.Top != nil {
-			req.topSet = true
-			req.opts = append(req.opts, repro.WithTopK(*env.Top))
-		}
-		if env.Frac != nil {
-			req.topSet = true
-			req.opts = append(req.opts, repro.WithTopFraction(*env.Frac))
+		// Envelope pruning applies only when the query carries none:
+		// "query overrides envelope" must hold across option kinds, or
+		// an envelope "top" would silently beat a query ?frac= (the
+		// pipeline prefers topK whenever both are set).
+		if q.Get("top") == "" && q.Get("frac") == "" {
+			if env.Top != nil {
+				req.topSet = true
+				req.opts = append(req.opts, repro.WithTopK(*env.Top))
+			}
+			if env.Frac != nil {
+				req.topSet = true
+				req.opts = append(req.opts, repro.WithTopFraction(*env.Frac))
+			}
 		}
 		if env.Parallel {
 			req.parallel = true
@@ -501,24 +536,59 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 	return req, 0, nil
 }
 
-// cachedScores resolves the request's significance table through the
-// score cache with single-flight de-duplication: identical bodies with
-// the same method score once, no matter how the method's parameters
-// differ (they only move thresholds). The returned hit flag reports
-// whether this call skipped scoring.
-func (s *server) cachedScores(ctx context.Context, req *runRequest) (*repro.Scores, bool, error) {
-	key := scoreKey{g: req.gkey, method: req.method.Name}
+// cachedScores resolves one method's significance table for a parsed
+// body through the score cache with single-flight de-duplication:
+// identical bodies with the same method score once, no matter how the
+// method's parameters differ (they only move thresholds). Both
+// /backbone and /evaluate ride this, so the two endpoints share one
+// table per (body, method). The returned hit flag reports whether this
+// call skipped scoring.
+func (s *server) cachedScores(ctx context.Context, gkey graphKey, g *repro.Graph, method string, parallel bool) (*repro.Scores, bool, error) {
+	key := scoreKey{g: gkey, method: method}
 	return s.scores.Do(ctx, key, func() (*repro.Scores, int64, error) {
-		opts := []repro.Option{repro.WithMethod(req.method.Name)}
-		if req.parallel {
+		opts := []repro.Option{repro.WithMethod(method)}
+		if parallel {
 			opts = append(opts, repro.WithParallel())
 		}
-		sc, err := repro.ScoreContext(ctx, req.g, opts...)
+		sc, err := repro.ScoreContext(ctx, g, opts...)
 		if err != nil {
 			return nil, 0, err
 		}
 		return sc, scoresCost(sc), nil
 	})
+}
+
+// admit runs the shared request front door of the scoring endpoints:
+// apply the per-request timeout, read (and bound) the body, and wait
+// for a worker-pool slot. On failure it has already written the error
+// response and returns ok == false; on success the caller must invoke
+// release when done with the slot and cancel with the request.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, body []byte, release func(), ok bool) {
+	ctx, cancel = r.Context(), func() {}
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		defer cancel()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return nil, nil, nil, nil, false
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %v", err))
+		return nil, nil, nil, nil, false
+	}
+	// Bounded worker pool: a saturated pool makes callers queue until a
+	// slot frees or their request context gives up.
+	select {
+	case s.sem <- struct{}{}:
+		return ctx, cancel, body, func() { <-s.sem }, true
+	case <-ctx.Done():
+		defer cancel()
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("worker pool saturated: %v", ctx.Err()))
+		return nil, nil, nil, nil, false
+	}
 }
 
 // handleRun serves POST /backbone and POST /score: per-request
@@ -538,32 +608,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
-	ctx := r.Context()
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
-	}
-
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
-			return
-		}
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %v", err))
+	ctx, cancel, body, release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	// Bounded worker pool: a saturated pool makes callers queue until a
-	// slot frees or their request context gives up.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("worker pool saturated: %v", ctx.Err()))
-		return
-	}
+	defer cancel()
+	defer release()
 
 	req, status, err := s.parseRun(ctx, r, body)
 	if err != nil {
@@ -593,7 +643,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var scores *repro.Scores
 	cacheState := "miss"
 	if useTable {
-		sc, hit, err := s.cachedScores(ctx, req)
+		sc, hit, err := s.cachedScores(ctx, req.gkey, req.g, req.method.Name, req.parallel)
 		if err != nil {
 			s.fail(w, statusFor(err), err)
 			return
@@ -633,6 +683,150 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.writeBackbone(w, req, res)
 }
 
+// evalReserved are the query keys with fixed meanings on /evaluate;
+// every other key must name a parameter of some selected method.
+// "outformat" and "response" are accepted no-ops (the report is always
+// JSON) so clients can carry /backbone query habits over.
+var evalReserved = map[string]bool{
+	"method": true, "methods": true, "top": true, "frac": true,
+	"parallel": true, "directed": true, "format": true,
+	"outformat": true, "response": true,
+}
+
+// handleEvaluate serves POST /evaluate: one registry-wide, size-matched
+// method comparison of the body's network as a JSON report. It shares
+// the front door (timeout, body bound, worker pool — so 413/499/503/504
+// behave exactly like /backbone), the content-addressed graph cache,
+// and the per-(body, method) score cache: re-evaluating a cached body
+// skips scoring entirely, which the X-Backbone-Cache: hit header and
+// the /statsz evaluate counters report.
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("%s requires POST", r.URL.Path))
+		return
+	}
+	s.requests.Add(1)
+	s.evalRequests.Add(1)
+	ctx, cancel, body, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+
+	g, gkey, env, _, status, err := s.resolveGraph(ctx, r, body)
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+
+	// Method narrowing: ?methods= (comma list) wins, then ?method=
+	// (/backbone's singular spelling), then the envelope's method field;
+	// with none of them every registered method is compared. Name
+	// validation is the engine's (unknown method → 400 via statusFor).
+	q := r.URL.Query()
+	var methods []string
+	switch {
+	case q.Get("methods") != "":
+		for _, name := range strings.Split(q.Get("methods"), ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				methods = append(methods, name)
+			}
+		}
+	case q.Get("method") != "":
+		methods = []string{q.Get("method")}
+	case env != nil && env.Method != "":
+		methods = []string{env.Method}
+	}
+	// Concurrency 1: one admitted /evaluate request runs at most one
+	// scoring computation at a time, so -workers stays an honest cap on
+	// concurrent scoring regardless of how many methods are compared.
+	opts := []repro.Option{repro.WithEvalConcurrency(1)}
+	if len(methods) > 0 {
+		opts = append(opts, repro.WithMethods(methods...))
+	}
+
+	// Parameters and pruning: envelope fields first, query overrides —
+	// the same precedence as /backbone. Ride-along declaration (at
+	// least one selected method must declare each parameter) is
+	// enforced by the engine and maps to 400.
+	parallel := q.Get("parallel") == "true" || q.Get("parallel") == "1"
+	if env != nil {
+		parallel = parallel || env.Parallel
+		for name, v := range env.Params {
+			opts = append(opts, repro.WithParam(name, v))
+		}
+		if env.Top != nil && q.Get("top") == "" && q.Get("frac") == "" {
+			opts = append(opts, repro.WithTopK(*env.Top))
+		}
+		if env.Frac != nil && q.Get("top") == "" && q.Get("frac") == "" {
+			opts = append(opts, repro.WithTopFraction(*env.Frac))
+		}
+	}
+	if parallel {
+		opts = append(opts, repro.WithParallel())
+	}
+	for name, vals := range q {
+		if evalReserved[name] {
+			continue
+		}
+		v, err := strconv.ParseFloat(vals[0], 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, &repro.ParamError{
+				Param: name, Reason: fmt.Sprintf("not a number: %q", vals[0]),
+			})
+			return
+		}
+		opts = append(opts, repro.WithParam(name, v))
+	}
+	if v := q.Get("top"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)})
+			return
+		}
+		opts = append(opts, repro.WithTopK(k))
+	}
+	if v := q.Get("frac"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)})
+			return
+		}
+		opts = append(opts, repro.WithTopFraction(f))
+	}
+
+	// Every method's table resolves through the shared score cache, so
+	// tables computed by earlier /backbone, /score or /evaluate calls on
+	// the same body are reused and concurrent identical evaluations
+	// coalesce per method.
+	opts = append(opts, repro.WithScoreSource(func(ctx context.Context, m *repro.Method) (*repro.Scores, bool, error) {
+		return s.cachedScores(ctx, gkey, g, m.Name, parallel)
+	}))
+
+	rep, err := repro.CompareContext(ctx, g, opts...)
+	if err != nil {
+		s.fail(w, statusFor(err), err)
+		return
+	}
+	s.evalCacheSkips.Add(uint64(rep.CacheHits))
+
+	cacheState := "miss"
+	if rep.ScoredMethods > 0 && rep.CacheHits == rep.ScoredMethods {
+		cacheState = "hit" // every needed table was cached: zero scoring ran
+	}
+	w.Header().Set("X-Backbone-Cache", cacheState)
+	w.Header().Set("X-Backbone-Eval-Methods", strconv.Itoa(len(rep.Methods)))
+	w.Header().Set("X-Backbone-Eval-Scored", strconv.Itoa(rep.ScoredMethods))
+	w.Header().Set("X-Backbone-Eval-Cached", strconv.Itoa(rep.CacheHits))
+	w.Header().Set("X-Backbone-Duration-Ms", strconv.FormatInt(rep.DurationMs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(rep); err != nil {
+		s.logf("write evaluate response: %v", err)
+	}
+}
+
 // handleStatsz reports process uptime, request count and cache
 // counters as JSON — the daemon's operational introspection endpoint.
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -642,6 +836,10 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"requests":       s.requests.Load(),
 		"graph_cache":    s.graphs.Stats(),
 		"score_cache":    s.scores.Stats(),
+		"evaluate": map[string]uint64{
+			"requests":    s.evalRequests.Load(),
+			"cache_skips": s.evalCacheSkips.Load(),
+		},
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -437,6 +438,10 @@ type statszSnapshot struct {
 		Entries                            int
 		Bytes                              int64 `json:"bytes"`
 	} `json:"score_cache"`
+	Evaluate struct {
+		Requests   uint64 `json:"requests"`
+		CacheSkips uint64 `json:"cache_skips"`
+	} `json:"evaluate"`
 }
 
 func getStatsz(t testing.TB, url string) statszSnapshot {
@@ -515,6 +520,241 @@ func TestCacheHitOnRepeatedRequest(t *testing.T) {
 	respScore.Body.Close()
 	if got := respScore.Header.Get("X-Backbone-Cache"); got != "hit" {
 		t.Errorf("/score after /backbone X-Backbone-Cache = %q, want hit", got)
+	}
+}
+
+// TestEvaluateEndpoint: POST /evaluate returns the full multi-method
+// JSON report — criteria per method, size-matched edge counts, and a
+// ranking — with undefined criteria (stability without a second
+// snapshot) encoded as explicit nulls, never NaN (the encoding/json
+// regression this PR fixes).
+func TestEvaluateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 2, 10*time.Second)
+	g := testGraph(t, 400)
+	target := 40
+	url := fmt.Sprintf("%s/evaluate?methods=nc,df,nt,mst&top=%d", ts.URL, target)
+	resp, err := http.Post(url, "text/csv", encodeGraph(t, g, "csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if got := resp.Header.Get("X-Backbone-Eval-Methods"); got != "4" {
+		t.Errorf("X-Backbone-Eval-Methods = %q, want 4", got)
+	}
+	// The raw body must spell out null for the undefined criteria: a NaN
+	// would have failed to encode server-side.
+	if !bytes.Contains(raw, []byte(`"stability":null`)) {
+		t.Errorf("undefined stability not encoded as null: %s", raw)
+	}
+	rep := &repro.EvalReport{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	if rep.Edges != g.NumEdges() || len(rep.Methods) != 4 || len(rep.Ranking) != 4 {
+		t.Fatalf("report shape: edges %d (want %d), %d methods, %d ranked",
+			rep.Edges, g.NumEdges(), len(rep.Methods), len(rep.Ranking))
+	}
+	for _, me := range rep.Methods {
+		if me.Err != "" {
+			t.Errorf("%s failed: %s", me.Method, me.Err)
+			continue
+		}
+		if me.Method != "mst" && me.Edges != target {
+			t.Errorf("%s: %d edges, want size-matched %d", me.Method, me.Edges, target)
+		}
+		if c := float64(me.Coverage); math.IsNaN(c) || c <= 0 || c > 1 {
+			t.Errorf("%s: coverage = %v", me.Method, c)
+		}
+		if !math.IsNaN(float64(me.Stability)) {
+			t.Errorf("%s: stability = %v without a snapshot, want null/NaN", me.Method, me.Stability)
+		}
+	}
+}
+
+// TestEvaluateCacheReuse pins the PR-5 acceptance criterion: once a
+// body's score tables are cached, re-evaluating it returns the full
+// multi-method report without re-scoring — X-Backbone-Cache: hit, and
+// the /statsz evaluate counters record the skipped scoring runs. The
+// tables are shared with /backbone, so pre-scoring one method there
+// also counts.
+func TestEvaluateCacheReuse(t *testing.T) {
+	_, ts := newTestServer(t, 2, 10*time.Second)
+	g := testGraph(t, 400)
+	body := encodeGraph(t, g, "csv").Bytes()
+	const methods = "nc,df,nt,mst" // three scoring methods + one extract-only
+
+	post := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+url, "text/csv", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, out)
+		}
+		return resp, out
+	}
+
+	// Warm one method's table through /backbone: cross-endpoint reuse.
+	post("/backbone?method=nc&delta=1.64")
+
+	resp1, _ := post("/evaluate?methods=" + methods)
+	if got := resp1.Header.Get("X-Backbone-Cache"); got != "miss" {
+		t.Errorf("first /evaluate X-Backbone-Cache = %q, want miss (df and nt still had to score)", got)
+	}
+	if got := resp1.Header.Get("X-Backbone-Eval-Cached"); got != "1" {
+		t.Errorf("first /evaluate X-Backbone-Eval-Cached = %q, want 1 (nc pre-scored via /backbone)", got)
+	}
+
+	before := getStatsz(t, ts.URL)
+	resp2, raw := post("/evaluate?methods=" + methods)
+	if got := resp2.Header.Get("X-Backbone-Cache"); got != "hit" {
+		t.Errorf("repeat /evaluate X-Backbone-Cache = %q, want hit", got)
+	}
+	if got := resp2.Header.Get("X-Backbone-Eval-Scored"); got != "3" {
+		t.Errorf("X-Backbone-Eval-Scored = %q, want 3", got)
+	}
+	if got := resp2.Header.Get("X-Backbone-Eval-Cached"); got != "3" {
+		t.Errorf("X-Backbone-Eval-Cached = %q, want 3 (all tables cached)", got)
+	}
+	rep := &repro.EvalReport{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Methods) != 4 || rep.ScoredMethods != 3 || rep.CacheHits != 3 {
+		t.Errorf("cached report: %d methods, scored %d, cache hits %d; want 4/3/3",
+			len(rep.Methods), rep.ScoredMethods, rep.CacheHits)
+	}
+	for _, me := range rep.Methods {
+		if me.Err != "" {
+			t.Errorf("cached evaluation lost method %s: %s", me.Method, me.Err)
+		}
+	}
+
+	after := getStatsz(t, ts.URL)
+	if after.Evaluate.Requests != before.Evaluate.Requests+1 {
+		t.Errorf("evaluate requests %d -> %d, want +1", before.Evaluate.Requests, after.Evaluate.Requests)
+	}
+	if after.Evaluate.CacheSkips != before.Evaluate.CacheSkips+3 {
+		t.Errorf("evaluate cache skips %d -> %d, want +3 (one per cached table)",
+			before.Evaluate.CacheSkips, after.Evaluate.CacheSkips)
+	}
+	if after.ScoreCache.Misses != before.ScoreCache.Misses {
+		t.Errorf("score cache misses %d -> %d: the cached evaluation scored something",
+			before.ScoreCache.Misses, after.ScoreCache.Misses)
+	}
+}
+
+// TestEvaluateValidation: /evaluate maps caller mistakes to 400 and
+// non-POST to 405, like its sibling endpoints.
+func TestEvaluateValidation(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	edgeList := "a,b,1\nb,c,2\n"
+	for _, c := range []struct{ name, url string }{
+		{"unknown method", "/evaluate?methods=bogus"},
+		{"undeclared param", "/evaluate?methods=mst&delta=1"},
+		{"bad top", "/evaluate?top=abc"},
+		{"bad frac", "/evaluate?frac=2"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+c.url, "text/csv", strings.NewReader(edgeList))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				msg, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, msg)
+			}
+		})
+	}
+	if resp, err := http.Get(ts.URL + "/evaluate"); err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /evaluate: status %d, want 405", resp.StatusCode)
+		}
+	}
+	// A ride-along parameter declared by a selected method is accepted.
+	resp, err := http.Post(ts.URL+"/evaluate?methods=nc,mst&delta=2.0", "text/csv", strings.NewReader(edgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Errorf("declared ride-along param: status %d (%s)", resp.StatusCode, msg)
+	}
+}
+
+// TestEvaluateQueryAndEnvelopeCompat: /evaluate accepts /backbone's
+// singular ?method= spelling (and the no-op ?outformat=), and honors a
+// JSON envelope's method/params fields like its sibling endpoints.
+func TestEvaluateQueryAndEnvelopeCompat(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	edgeList := "a,b,1\nb,c,2\nc,d,3\n"
+
+	decode := func(resp *http.Response) *repro.EvalReport {
+		t.Helper()
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		rep := &repro.EvalReport{}
+		if err := json.Unmarshal(raw, rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	resp, err := http.Post(ts.URL+"/evaluate?method=nc&outformat=json", "text/csv", strings.NewReader(edgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decode(resp)
+	if len(rep.Methods) != 1 || rep.Methods[0].Method != "nc" {
+		t.Errorf("?method=nc narrowing: %+v", rep.Methods)
+	}
+
+	env := `{"method":"nt","params":{"threshold":1.5},"top":2,"edges":[
+		{"src":"a","dst":"b","weight":1},{"src":"b","dst":"c","weight":2},{"src":"c","dst":"d","weight":3}]}`
+	resp, err = http.Post(ts.URL+"/evaluate", "application/json", strings.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = decode(resp)
+	if len(rep.Methods) != 1 || rep.Methods[0].Method != "nt" {
+		t.Fatalf("envelope method narrowing: %+v", rep.Methods)
+	}
+	if rep.Methods[0].Params["threshold"] != 1.5 {
+		t.Errorf("envelope params lost: %v", rep.Methods[0].Params)
+	}
+	if rep.TargetEdges != 2 || rep.Methods[0].Edges != 2 {
+		t.Errorf("envelope top lost: target %d, edges %d", rep.TargetEdges, rep.Methods[0].Edges)
+	}
+}
+
+// TestEvaluateTimeout504: the per-request timeout reaches the engine's
+// scoring loops — /evaluate shares /backbone's 504 semantics.
+func TestEvaluateTimeout504(t *testing.T) {
+	_, ts := newTestServer(t, 2, 200*time.Millisecond)
+	g := testGraph(t, 4096)
+	resp, err := http.Post(ts.URL+"/evaluate?methods=slowtest", "text/csv", encodeGraph(t, g, "csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504", resp.StatusCode)
 	}
 }
 
@@ -650,6 +890,33 @@ func TestExtractOnlyScorerMethods(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("mst /backbone: status %d", resp.StatusCode)
+	}
+}
+
+// TestEnvelopePruningQueryPrecedence: a query ?frac= (or ?top=) wins
+// over the envelope's pruning fields on /backbone — without the guard,
+// an envelope "top" would silently beat a query ?frac= because the
+// pipeline prefers top-k whenever both options are set.
+func TestEnvelopePruningQueryPrecedence(t *testing.T) {
+	_, ts := newTestServer(t, 2, 5*time.Second)
+	var edges []map[string]any
+	for i := 0; i < 10; i++ {
+		edges = append(edges, map[string]any{
+			"src": fmt.Sprintf("n%d", i), "dst": fmt.Sprintf("n%d", i+1), "weight": float64(i + 1),
+		})
+	}
+	body, _ := json.Marshal(map[string]any{"method": "nt", "top": 2, "edges": edges})
+	resp, err := http.Post(ts.URL+"/backbone?frac=0.5", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	if got := resp.Header.Get("X-Backbone-Edges"); got != "5" {
+		t.Errorf("query frac=0.5 over envelope top=2: %s edges, want 5 (query must win)", got)
 	}
 }
 

@@ -13,13 +13,22 @@
 // graph I/O format table. Output goes to stdout or the -o file. The
 // country-network experiments share one synthetic world, controlled by
 // -seed, -countries and -years.
+//
+// SIGINT/SIGTERM cancel the shared context, which is plumbed into
+// every figure runner: Ctrl-C stops a sweep mid-figure (the runners
+// check the context between networks, shares and repetitions) instead
+// of running the artifact to completion.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/exp"
@@ -41,6 +50,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig1|fig2|...|fig9|table1|table2|casestudy|ablation|noise|changes|methods|formats|all")
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -77,13 +89,17 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 
 	run("fig1", func() error {
-		r, err := exp.Fig1(1, 151, 4)
+		r, err := exp.Fig1(ctx, 1, 151, 4)
 		if err != nil {
 			return err
 		}
@@ -96,7 +112,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			r, err := exp.Fig2(name, ds.Latest(), []float64{1, 2, 3}, 24)
+			r, err := exp.Fig2(ctx, name, ds.Latest(), []float64{1, 2, 3}, 24)
 			if err != nil {
 				return err
 			}
@@ -105,7 +121,7 @@ func main() {
 		return nil
 	})
 	run("fig3", func() error {
-		rows, err := exp.Fig3()
+		rows, err := exp.Fig3(ctx)
 		if err != nil {
 			return err
 		}
@@ -114,7 +130,7 @@ func main() {
 	})
 	run("fig4", func() error {
 		c := exp.DefaultFig4Config()
-		r, err := exp.Fig4(c)
+		r, err := exp.Fig4(ctx, c)
 		if err != nil {
 			return err
 		}
@@ -130,7 +146,7 @@ func main() {
 		return nil
 	})
 	run("fig7", func() error {
-		r, err := exp.Fig7(country)
+		r, err := exp.Fig7(ctx, country)
 		if err != nil {
 			return err
 		}
@@ -138,7 +154,7 @@ func main() {
 		return nil
 	})
 	run("fig8", func() error {
-		r, err := exp.Fig8(country)
+		r, err := exp.Fig8(ctx, country)
 		if err != nil {
 			return err
 		}
@@ -150,7 +166,7 @@ func main() {
 		if !*fullScale {
 			c.NodeCounts = []int{5_000, 10_000, 20_000, 40_000, 80_000}
 		}
-		r, err := exp.Fig9(c)
+		r, err := exp.Fig9(ctx, c)
 		if err != nil {
 			return err
 		}
@@ -158,7 +174,7 @@ func main() {
 		return nil
 	})
 	run("table1", func() error {
-		r, err := exp.Table1(country)
+		r, err := exp.Table1(ctx, country)
 		if err != nil {
 			return err
 		}
@@ -166,7 +182,7 @@ func main() {
 		return nil
 	})
 	run("table2", func() error {
-		r, err := exp.Table2(country)
+		r, err := exp.Table2(ctx, country)
 		if err != nil {
 			return err
 		}
@@ -174,7 +190,7 @@ func main() {
 		return nil
 	})
 	run("casestudy", func() error {
-		r, err := exp.CaseStudy(occupations.DefaultConfig())
+		r, err := exp.CaseStudy(ctx, occupations.DefaultConfig())
 		if err != nil {
 			return err
 		}
@@ -182,7 +198,7 @@ func main() {
 		return nil
 	})
 	run("noise", func() error {
-		r, err := exp.Noise(country, 0.1)
+		r, err := exp.Noise(ctx, country, 0.1)
 		if err != nil {
 			return err
 		}
@@ -195,7 +211,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			r, err := exp.Changes(ds, 0.01, 12)
+			r, err := exp.Changes(ctx, ds, 0.01, 12)
 			if err != nil {
 				return err
 			}
@@ -204,7 +220,7 @@ func main() {
 		return nil
 	})
 	run("ablation", func() error {
-		r, err := exp.Ablation(exp.DefaultFig4Config())
+		r, err := exp.Ablation(ctx, exp.DefaultFig4Config())
 		if err != nil {
 			return err
 		}

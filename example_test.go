@@ -64,3 +64,39 @@ func ExampleReadGraph() {
 	// rome	milan	43.5
 	// paris	lyon	12
 }
+
+// Example_evaluate grades several backboning methods on one network at
+// a common backbone size — the paper's evaluation protocol as a single
+// call. Criteria without inputs (stability needs a second snapshot,
+// recovery a ground truth) come back NaN and marshal to JSON null.
+func Example_evaluate() {
+	b := repro.NewBuilder(false)
+	for _, e := range []struct {
+		src, dst string
+		w        float64
+	}{
+		{"a", "b", 120}, {"b", "c", 95}, {"a", "c", 110},
+		{"a", "d", 2}, {"b", "d", 1}, {"c", "d", 3},
+	} {
+		if err := b.AddEdgeLabels(e.src, e.dst, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	rep, err := repro.Compare(g,
+		repro.WithMethods("nc", "nt", "mst"),
+		repro.WithTopK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, me := range rep.Methods {
+		fmt.Printf("%s: %d edges, coverage %.2f\n", me.Method, me.Edges, float64(me.Coverage))
+	}
+	fmt.Printf("best: %s\n", rep.Ranking[0])
+	// Output:
+	// nc: 3 edges, coverage 0.75
+	// nt: 3 edges, coverage 0.75
+	// mst: 3 edges, coverage 1.00
+	// best: mst
+}

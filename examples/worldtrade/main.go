@@ -1,8 +1,10 @@
 // Worldtrade runs the paper's country-network evaluation pipeline end
-// to end on the synthetic world: generate a noisy trade network, apply
-// every backboning method at the same backbone size, and compare
-// coverage and the quality of a gravity regression restricted to each
-// backbone (the paper's Table II protocol).
+// to end on the synthetic world: generate a noisy trade network, then
+// grade every backboning method at the same backbone size under the
+// coverage and quality criteria (the paper's Table II protocol) with a
+// single repro.CompareContext call — the evaluation subsystem handles
+// size-matched extraction, the backbone-restricted gravity regression,
+// and the ranking.
 //
 // Run with: go run ./examples/worldtrade
 package main
@@ -11,65 +13,55 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
-	"time"
+	"strings"
 
 	"repro"
-	"repro/internal/eval"
-	"repro/internal/exp"
-	"repro/internal/stats"
 	"repro/internal/world"
 )
 
 func main() {
 	w := world.New(world.Config{Seed: 99, Countries: 100, Products: 300, Years: 3})
 	trade := w.Trade()
-	g := trade.Latest()
-	fmt.Printf("synthetic Trade network: %v\n", g)
+	// Evaluate the second-to-last observation year so the Stability
+	// criterion has a genuine t+1 snapshot to join against.
+	g := trade.Years[len(trade.Years)-2]
+	next := trade.Latest()
+	fmt.Printf("synthetic Trade network: %v\n\n", g)
 
-	pred := w.Predictors()
-	yF, xF, err := pred.Design("Trade", g.Edges())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fitF, err := stats.OLS(yF, xF...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("gravity model on the full network: R² = %.3f over %d edges\n\n", fitF.R2, len(yF))
-
-	// Run every registered method concurrently at the same backbone
-	// size — the paper's Table II protocol, one BackboneAll call.
-	k := g.NumEdges() / 10
+	// One call grades every registered method at the same backbone size
+	// (top 10% of edges): coverage always, quality via the gravity-model
+	// design, stability via the next observation year.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	results, err := repro.BackboneAllContext(ctx, g, nil, repro.WithTopK(k))
+	rep, err := repro.CompareContext(ctx, g,
+		repro.WithTopFraction(0.1),
+		repro.WithQualityDesign(w.Predictors(), "Trade"),
+		repro.WithNextSnapshot(next),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-24s %8s %9s %9s %11s\n", "method", "edges", "coverage", "quality", "time")
-	for _, res := range results {
-		if res.Err != nil {
+
+	cell := func(f repro.Float) string {
+		if v := float64(f); !math.IsNaN(v) {
+			return fmt.Sprintf("%9.3f", v)
+		}
+		return fmt.Sprintf("%9s", "n/a")
+	}
+	fmt.Printf("%-24s %8s %9s %9s %9s %9s\n", "method", "edges", "coverage", "quality", "stability", "time(ms)")
+	for _, me := range rep.Methods {
+		if me.Err != "" {
 			// e.g. the doubly stochastic transformation may not exist —
 			// the paper's Table II marks such cells "n/a".
-			fmt.Printf("%-24s %8s %9s %9s  (%v)\n", res.Title, "n/a", "n/a", "n/a", res.Err)
+			fmt.Printf("%-24s %8s  (%s)\n", me.Title, "n/a", me.Err)
 			continue
 		}
-		bb := res.Backbone
-		edges := exp.RestrictEdges(g, bb)
-		yB, xB, err := pred.Design("Trade", edges)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fitB, err := stats.OLS(yB, xB...)
-		quality := 0.0
-		if err == nil && fitF.R2 > 0 {
-			quality = fitB.R2 / fitF.R2
-		}
-		fmt.Printf("%-24s %8d %9.3f %9.3f %11v\n",
-			res.Title, bb.NumEdges(), eval.Coverage(g, bb), quality,
-			res.Duration.Round(time.Millisecond))
+		fmt.Printf("%-24s %8d %s %s %s %9d\n",
+			me.Title, me.Edges, cell(me.Coverage), cell(me.Quality), cell(me.Stability), me.DurationMs)
 	}
-	fmt.Println("\nquality > 1: restricting the regression to the backbone improves the fit")
+	fmt.Printf("\nranking (composite criterion): %s\n", strings.Join(rep.Ranking, " > "))
+	fmt.Println("quality > 1: restricting the regression to the backbone improves the fit")
 }

@@ -219,3 +219,40 @@ func TestQuickLouvainBeatsBaselines(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestModularityMatchesAdjOracle pins the CSR-native Modularity to the
+// adjacency-map implementation the optimizers still use, on random
+// graphs and random partitions.
+func TestModularityMatchesAdjOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := gen.PlantedPartition(rng, 20+rng.Intn(30), 2+rng.Intn(4), 0.4, 0.1)
+		part := make([]int, g.NumNodes())
+		for i := range part {
+			part[i] = rng.Intn(5) * 3 // sparse, non-dense labels
+		}
+		got := Modularity(g, part)
+		want := newAdj(g).modularity(part)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: Modularity = %v, adj oracle = %v", seed, got, want)
+		}
+	}
+}
+
+// TestCodeLengthMatchesAdjOracle pins the CSR-native CodeLength to the
+// adjacency-map implementation on random graphs and partitions.
+func TestCodeLengthMatchesAdjOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		g, _ := gen.PlantedPartition(rng, 20+rng.Intn(30), 2+rng.Intn(4), 0.4, 0.1)
+		part := make([]int, g.NumNodes())
+		for i := range part {
+			part[i] = rng.Intn(6)
+		}
+		got := CodeLength(g, part)
+		want := newAdj(g).codeLength(part)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: CodeLength = %v, adj oracle = %v", seed, got, want)
+		}
+	}
+}

@@ -20,10 +20,47 @@ import (
 // where p_α is node α's visit rate (strength share) and q_m module m's
 // exit rate.
 func CodeLength(g *graph.Graph, part []int) float64 {
-	a := newAdj(g)
-	return a.codeLength(part)
+	u := g.Undirected()
+	if u.TotalWeight() == 0 {
+		return 0
+	}
+	// CSR-native: visit rates come from the precomputed strengths and
+	// exit rates from one pass over the canonical edge slice, with
+	// community labels densified into slice indices — no adjacency maps
+	// and no per-module maps. The adj-based codeLength below remains the
+	// optimizer substrate (aggregated supernode graphs carry self-loops)
+	// and the property-test oracle.
+	dense, k := densified(part)
+	twoM := u.TotalWeight() // undirected TotalWeight counts each edge twice = 2m
+	qm := make([]float64, k)
+	pm := make([]float64, k)
+	var nodeTerm float64
+	for n, i := u.NumNodes(), 0; i < n; i++ {
+		p := u.OutStrength(i) / twoM
+		pm[dense[i]] += p
+		nodeTerm += plogp(p)
+	}
+	for _, e := range u.Edges() {
+		cu, cv := dense[e.Src], dense[e.Dst]
+		if cu != cv {
+			// A cross-module edge is an exit of both endpoints' modules.
+			qm[cu] += e.Weight / twoM
+			qm[cv] += e.Weight / twoM
+		}
+	}
+	var sumQ, qTerm, moduleTerm float64
+	for c := 0; c < k; c++ {
+		sumQ += qm[c]
+		qTerm += plogp(qm[c])
+		moduleTerm += plogp(qm[c] + pm[c])
+	}
+	return plogp(sumQ) - 2*qTerm - nodeTerm + moduleTerm
 }
 
+// codeLength is the adjacency-map implementation, retained as the
+// Infomap optimizer's substrate (aggregated graphs carry self-loop
+// weights) and as the property-test oracle for the CSR-native
+// CodeLength above.
 func (a *adj) codeLength(part []int) float64 {
 	if a.total == 0 {
 		return 0

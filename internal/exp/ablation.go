@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -60,7 +61,7 @@ type AblationResult struct {
 // Ablation reruns the synthetic-recovery experiment with the full NC
 // model, the plug-in variance ablation, and the footnote-2 binomial
 // p-value variant.
-func Ablation(cfg Fig4Config) (*AblationResult, error) {
+func Ablation(ctx context.Context, cfg Fig4Config) (*AblationResult, error) {
 	variants := []filter.Scorer{core.New(), pluginNC{}, core.NewBinomial()}
 	res := &AblationResult{Etas: cfg.Etas, Recovery: map[string][]float64{}}
 	for _, v := range variants {
@@ -70,6 +71,9 @@ func Ablation(cfg Fig4Config) (*AblationResult, error) {
 	for ei, eta := range cfg.Etas {
 		acc := map[string][]float64{}
 		for rep := 0; rep < cfg.Reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			base := gen.BarabasiAlbert(rng, cfg.Nodes, cfg.MeanDegree/2)
 			nn := gen.AddNoise(rng, base, eta)
 			for _, v := range variants {
@@ -78,7 +82,7 @@ func Ablation(cfg Fig4Config) (*AblationResult, error) {
 					return nil, err
 				}
 				bb := s.TopK(nn.NumTrue)
-				acc[v.Name()] = append(acc[v.Name()], eval.Recovery(bb, nn.TrueEdges))
+				acc[v.Name()] = append(acc[v.Name()], eval.Recovery(bb, base))
 			}
 		}
 		for name, vals := range acc {

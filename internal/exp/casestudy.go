@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strconv"
@@ -41,10 +42,13 @@ type CaseStudySide struct {
 // world: extract NC and DF backbones of roughly equal size from the
 // skill co-occurrence network, compare their topology, community
 // structure and usefulness for predicting labor flows.
-func CaseStudy(cfg occupations.Config) (*CaseStudyResult, error) {
+func CaseStudy(ctx context.Context, cfg occupations.Config) (*CaseStudyResult, error) {
 	d := occupations.Generate(cfg)
 	g := d.CoOccurrence
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	nc := core.New()
 	df := backbone.NewDisparity()
 	sNC, err := nc.Scores(g)
@@ -69,8 +73,14 @@ func CaseStudy(cfg occupations.Config) (*CaseStudyResult, error) {
 		Occupations: d.NumOccupations(),
 		EdgesFull:   g.NumEdges(),
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.NC, err = sideMetrics(bbNC, d, 101)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	res.DF, err = sideMetrics(bbDF, d, 202)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,7 +26,10 @@ type ChangesResult struct {
 
 // Changes runs NC change detection between the first and last
 // observation years of a dataset.
-func Changes(ds *world.Dataset, alpha float64, top int) (*ChangesResult, error) {
+func Changes(ctx context.Context, ds *world.Dataset, alpha float64, top int) (*ChangesResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	before := ds.Years[0]
 	after := ds.Latest()
 	all, err := core.Changes(before, after, 1)

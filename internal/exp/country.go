@@ -1,13 +1,16 @@
 package exp
 
 import (
-	"repro/internal/graph"
 	"repro/internal/world"
 )
 
 // Country bundles the synthetic country-network datasets and their
 // regression predictors, shared across the Section-V experiment drivers
 // so the world is generated once.
+//
+// The cross-year weight joins and backbone edge restrictions these
+// drivers used to implement with EdgeKey maps (weightIn, RestrictEdges)
+// live in internal/eval now, as CSR merge-walks.
 type Country struct {
 	W        *world.World
 	Datasets []*world.Dataset
@@ -22,44 +25,4 @@ func NewCountry(cfg world.Config) *Country {
 		Datasets: w.AllDatasets(),
 		Pred:     w.Predictors(),
 	}
-}
-
-// weightIn returns the weight that graph g assigns to a backbone edge e
-// scored on graph bg. When the backbone is undirected (HSS and MST
-// symmetrize directed inputs) but g is directed, both directions are
-// summed, so year-over-year comparisons stay well defined.
-func weightIn(g *graph.Graph, bg *graph.Graph, e graph.Edge) float64 {
-	if bg.Directed() == g.Directed() {
-		w, _ := g.Weight(int(e.Src), int(e.Dst))
-		if !g.Directed() {
-			return w
-		}
-		return w
-	}
-	// Undirected backbone over a directed graph: merge both directions.
-	w1, _ := g.Weight(int(e.Src), int(e.Dst))
-	w2, _ := g.Weight(int(e.Dst), int(e.Src))
-	return w1 + w2
-}
-
-// RestrictEdges returns the edges of full whose node pair survives in
-// the backbone, handling the directed-full/undirected-backbone case by
-// normalizing pairs. This is how the Quality regressions restrict their
-// observation set to the backbone.
-func RestrictEdges(full, bb *graph.Graph) []graph.Edge {
-	keep := make(map[graph.EdgeKey]bool, bb.NumEdges())
-	for _, e := range bb.Edges() {
-		k := bb.Key(e)
-		keep[k] = true
-		if !bb.Directed() {
-			keep[graph.EdgeKey{U: k.V, V: k.U}] = true
-		}
-	}
-	var out []graph.Edge
-	for _, e := range full.Edges() {
-		if keep[full.Key(e)] {
-			out = append(out, e)
-		}
-	}
-	return out
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestMethodsRegistry(t *testing.T) {
 }
 
 func TestFig3ToyExample(t *testing.T) {
-	rows, err := Fig3()
+	rows, err := Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestFig3ToyExample(t *testing.T) {
 func TestFig4RecoveryShape(t *testing.T) {
 	cfg := Fig4Config{Seed: 4, Nodes: 80, MeanDegree: 3,
 		Etas: []float64{0.05, 0.25}, Reps: 2}
-	res, err := Fig4(cfg)
+	res, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestFig4RecoveryShape(t *testing.T) {
 func TestFig2Distributions(t *testing.T) {
 	c := testCountry(t)
 	g := c.Datasets[1].Latest() // Country Space
-	res, err := Fig2("Country Space", g, []float64{1, 2, 3}, 20)
+	res, err := Fig2(context.Background(), "Country Space", g, []float64{1, 2, 3}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestFig5AndFig6(t *testing.T) {
 
 func TestTable1VarianceValidation(t *testing.T) {
 	c := testCountry(t)
-	res, err := Table1(c)
+	res, err := Table1(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestTable1VarianceValidation(t *testing.T) {
 
 func TestFig7Coverage(t *testing.T) {
 	c := testCountry(t)
-	res, err := Fig7(c)
+	res, err := Fig7(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestFig7Coverage(t *testing.T) {
 
 func TestFig8Stability(t *testing.T) {
 	c := testCountry(t)
-	res, err := Fig8(c)
+	res, err := Fig8(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestFig8Stability(t *testing.T) {
 
 func TestTable2Quality(t *testing.T) {
 	c := testCountry(t)
-	res, err := Table2(c)
+	res, err := Table2(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestTable2Quality(t *testing.T) {
 }
 
 func TestFig1CommunityRecovery(t *testing.T) {
-	res, err := Fig1(1, 90, 3)
+	res, err := Fig1(context.Background(), 1, 90, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestCaseStudyShape(t *testing.T) {
 	// occupations; 216 nodes is the smallest size with stable orderings.
 	cfg := occupations.Config{Seed: 3, Majors: 6, MinorsPerMajor: 3, OccsPerMinor: 12,
 		CoreSkills: 12, GenericSkills: 24}
-	res, err := CaseStudy(cfg)
+	res, err := CaseStudy(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestCaseStudyShape(t *testing.T) {
 
 func TestAblationBayesHelps(t *testing.T) {
 	cfg := Fig4Config{Seed: 8, Nodes: 80, MeanDegree: 3, Etas: []float64{0.2}, Reps: 3}
-	res, err := Ablation(cfg)
+	res, err := Ablation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestAblationBayesHelps(t *testing.T) {
 
 func TestFig9SmallScale(t *testing.T) {
 	cfg := Fig9Config{Seed: 1, NodeCounts: []int{500, 1000, 2000}, Reps: 1, MaxExpensiveEdges: 800}
-	res, err := Fig9(cfg)
+	res, err := Fig9(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

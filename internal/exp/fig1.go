@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 
@@ -25,16 +26,24 @@ type Fig1Result struct {
 // Fig1 plants k communities, floods the graph with noise edges until
 // nearly every pair is connected (the paper's 151-node network has
 // "virtually every possible connection expressed"), and compares
-// community recovery on the hairball versus on its NC backbone.
-func Fig1(seed int64, n, k int) (*Fig1Result, error) {
+// community recovery on the hairball versus on its NC backbone. The
+// context is checked between the expensive phases (generation, each
+// community search, backboning).
+func Fig1(ctx context.Context, seed int64, n, k int) (*Fig1Result, error) {
 	rng := rand.New(rand.NewSource(seed))
 	base, truth := gen.PlantedPartition(rng, n, k, 0.3, 0.02)
 	noisy := gen.AddNoise(rng, base, 0.9)
 	g := noisy.Noisy
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	full := community.Louvain(g, rand.New(rand.NewSource(seed+1)))
 	bb, err := core.New().Backbone(g, 2.32)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	found := community.Louvain(bb, rand.New(rand.NewSource(seed+2)))

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,14 +24,21 @@ type Fig2Result struct {
 	ShareAccepted []float64
 }
 
-// Fig2 computes the shifted-score distributions for one network graph.
-func Fig2(name string, g *graph.Graph, deltas []float64, bins int) (*Fig2Result, error) {
+// Fig2 computes the shifted-score distributions for one network graph,
+// checking the context between deltas.
+func Fig2(ctx context.Context, name string, g *graph.Graph, deltas []float64, bins int) (*Fig2Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := core.New().Scores(g)
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig2Result{Network: name, Deltas: deltas}
 	for _, d := range deltas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		shifted := make([]float64, len(s.Score))
 		accepted := 0
 		for i := range shifted {
@@ -70,7 +78,10 @@ type Fig3Row struct {
 // with five spokes, two of which (nodes 2 and 3) share a weak direct
 // edge. DF ranks the hub's spokes highly; NC ranks the unanticipated
 // peripheral 2-3 edge highest.
-func Fig3() ([]Fig3Row, error) {
+func Fig3(ctx context.Context) ([]Fig3Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b := graph.NewBuilder(false)
 	b.AddNode("1")
 	b.AddNode("2")

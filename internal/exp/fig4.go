@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/eval"
@@ -44,18 +45,26 @@ type Fig4Result struct {
 }
 
 // Fig4 runs the recovery experiment: BA networks with the complement
-// filled by noise edges, every method cut to the true edge count.
-func Fig4(cfg Fig4Config) (*Fig4Result, error) {
+// filled by noise edges, every method cut to the true edge count. Each
+// draw is one size-matched eval.Compare run with the base network as
+// ground truth — the bespoke per-method extraction loop this driver
+// used to carry lives in the evaluation engine now.
+func Fig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 	res := &Fig4Result{
 		Cfg:      cfg,
 		Recovery: map[string][]float64{},
 		Methods:  Methods(),
 	}
-	for _, m := range res.Methods {
+	names := make([]string, len(res.Methods))
+	for i, m := range res.Methods {
 		res.Recovery[m.Short] = make([]float64, len(cfg.Etas))
+		names[i] = m.Short
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for ei, eta := range cfg.Etas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		acc := map[string]*[]float64{}
 		for _, m := range res.Methods {
 			s := make([]float64, 0, cfg.Reps)
@@ -64,13 +73,20 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 		for rep := 0; rep < cfg.Reps; rep++ {
 			base := gen.BarabasiAlbert(rng, cfg.Nodes, cfg.MeanDegree/2)
 			nn := gen.AddNoise(rng, base, eta)
-			for _, m := range res.Methods {
-				bb, err := BackboneWithK(m, nn.Noisy, nn.NumTrue)
-				if err != nil {
+			grades, err := eval.Compare(ctx, nn.Noisy, eval.Config{
+				Methods: names,
+				TopK:    nn.NumTrue, TopKSet: true,
+				Truth: base,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, me := range grades.Methods {
+				if me.Err != "" {
 					// DS can be infeasible on some draws; skip that draw.
 					continue
 				}
-				*acc[m.Short] = append(*acc[m.Short], eval.Recovery(bb, nn.TrueEdges))
+				*acc[me.Method] = append(*acc[me.Method], float64(me.Recovery))
 			}
 		}
 		for short, vals := range acc {

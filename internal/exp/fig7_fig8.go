@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/eval"
@@ -49,27 +50,45 @@ func (r *SweepResult) initNetwork(name string) {
 	}
 }
 
+// shareMethods returns the method shorts to grade at share index si:
+// every method at the first share, only the size-tunable ones after
+// (fixed-size methods are single points in the paper's sweeps).
+func (r *SweepResult) shareMethods(si int) []string {
+	var names []string
+	for _, m := range r.Methods {
+		if m.FixedSize && si > 0 {
+			continue
+		}
+		names = append(names, m.Short)
+	}
+	return names
+}
+
 // Fig7 measures Coverage — the share of originally non-isolated nodes
 // the backbone keeps non-isolated — as a function of the share of edges
-// kept, per method and network (Section V-D).
-func Fig7(c *Country) (*SweepResult, error) {
+// kept, per method and network (Section V-D). Each grid point is one
+// size-matched eval.Compare run.
+func Fig7(ctx context.Context, c *Country) (*SweepResult, error) {
 	res := newSweepResult("Figure 7 — Coverage per backbone for varying threshold values", "coverage")
 	for _, ds := range c.Datasets {
 		res.initNetwork(ds.Name)
 		full := ds.Latest()
-		for _, m := range res.Methods {
-			for si, share := range res.Shares {
-				if m.FixedSize && si > 0 {
-					break
+		for si, share := range res.Shares {
+			grades, err := eval.Compare(ctx, full, eval.Config{
+				Methods: res.shareMethods(si),
+				Frac:    share, FracSet: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, me := range grades.Methods {
+				if me.Err != "" {
+					continue // infeasible (DS n/a): leave NaN
 				}
-				bb, err := BackboneWithShare(m, full, share)
-				if err != nil {
-					break // infeasible (DS n/a): leave NaN
+				if m, _ := MethodByShort(me.Method); m.FixedSize {
+					res.FixedShare[ds.Name][me.Method] = float64(me.Edges) / float64(full.NumEdges())
 				}
-				if m.FixedSize {
-					res.FixedShare[ds.Name][m.Short] = float64(bb.NumEdges()) / float64(full.NumEdges())
-				}
-				res.Values[ds.Name][m.Short][si] = eval.Coverage(full, bb)
+				res.Values[ds.Name][me.Method][si] = float64(me.Coverage)
 			}
 		}
 	}
@@ -79,43 +98,45 @@ func Fig7(c *Country) (*SweepResult, error) {
 // Fig8 measures Stability — the Spearman correlation between backbone
 // edge weights at t and the same pairs' weights at t+1, averaged over
 // consecutive year pairs — as a function of the share of edges kept
-// (Section V-F).
-func Fig8(c *Country) (*SweepResult, error) {
+// (Section V-F). Each (share, year-pair) cell is one eval.Compare run
+// with the next year as the stability snapshot; the cross-year weight
+// join runs as a CSR merge-walk inside the engine.
+func Fig8(ctx context.Context, c *Country) (*SweepResult, error) {
 	res := newSweepResult("Figure 8 — Stability per backbone for varying threshold values", "stability")
 	for _, ds := range c.Datasets {
 		res.initNetwork(ds.Name)
-		for _, m := range res.Methods {
-			for si, share := range res.Shares {
-				if m.FixedSize && si > 0 {
-					break
+		for si, share := range res.Shares {
+			names := res.shareMethods(si)
+			perMethod := map[string][]float64{}
+			infeasible := map[string]bool{}
+			for yi := 0; yi+1 < len(ds.Years); yi++ {
+				grades, err := eval.Compare(ctx, ds.Years[yi], eval.Config{
+					Methods: names,
+					Frac:    share, FracSet: true,
+					Next: ds.Years[yi+1],
+				})
+				if err != nil {
+					return nil, err
 				}
-				var stab []float64
-				infeasible := false
-				for yi := 0; yi+1 < len(ds.Years); yi++ {
-					g0, g1 := ds.Years[yi], ds.Years[yi+1]
-					bb, err := BackboneWithShare(m, g0, share)
-					if err != nil {
-						infeasible = true
-						break
+				for _, me := range grades.Methods {
+					if me.Err != "" {
+						// Failing on any year pair leaves the whole cell n/a
+						// (a partial-year mean would not be the figure's
+						// metric) — the pre-engine drivers did the same.
+						infeasible[me.Method] = true
+						continue
 					}
-					if m.FixedSize && yi == 0 {
-						res.FixedShare[ds.Name][m.Short] = float64(bb.NumEdges()) / float64(g0.NumEdges())
+					if m, _ := MethodByShort(me.Method); m.FixedSize && yi == 0 {
+						res.FixedShare[ds.Name][me.Method] = float64(me.Edges) / float64(ds.Years[yi].NumEdges())
 					}
-					var cur, nxt []float64
-					for _, e := range bb.Edges() {
-						cur = append(cur, e.Weight)
-						nxt = append(nxt, weightIn(g1, bb, e))
-					}
-					if s := stats.Spearman(cur, nxt); s == s {
-						stab = append(stab, s)
-					}
+					perMethod[me.Method] = append(perMethod[me.Method], float64(me.Stability))
 				}
-				if infeasible {
-					break
+			}
+			for short, vals := range perMethod {
+				if infeasible[short] {
+					continue // stays NaN
 				}
-				if len(stab) > 0 {
-					res.Values[ds.Name][m.Short][si] = stats.Mean(stab)
-				}
+				res.Values[ds.Name][short][si] = stats.MeanNonNaN(vals)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,8 +55,10 @@ type Fig9Result struct {
 	ExtractSeconds []float64
 }
 
-// Fig9 times every method on growing Erdős–Rényi graphs.
-func Fig9(cfg Fig9Config) (*Fig9Result, error) {
+// Fig9 times every method on growing Erdős–Rényi graphs, checking the
+// context between sizes and between methods so Ctrl-C lands promptly
+// even mid-sweep.
+func Fig9(ctx context.Context, cfg Fig9Config) (*Fig9Result, error) {
 	res := &Fig9Result{
 		Cfg:      cfg,
 		Methods:  Methods(),
@@ -70,6 +73,9 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for si, n := range cfg.NodeCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mEdges := n * 3 / 2 // average degree 3
 		g := gen.ErdosRenyiGNM(rng, n, mEdges)
 		res.Edges = append(res.Edges, g.NumEdges())
@@ -80,6 +86,9 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 		res.BuildSeconds = append(res.BuildSeconds, build)
 		res.ExtractSeconds = append(res.ExtractSeconds, extract)
 		for _, m := range res.Methods {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			expensive := m.Short == "hss" || m.Short == "ds"
 			if expensive && g.NumEdges() > cfg.MaxExpensiveEdges {
 				continue

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -30,8 +31,9 @@ type NoiseResult struct {
 	Share float64
 }
 
-// Noise measures artifact retention at a fixed backbone share.
-func Noise(c *Country, share float64) (*NoiseResult, error) {
+// Noise measures artifact retention at a fixed backbone share,
+// checking the context between networks.
+func Noise(ctx context.Context, c *Country, share float64) (*NoiseResult, error) {
 	res := &NoiseResult{
 		Methods:           Methods(),
 		ArtifactShareKept: map[string]map[string]float64{},
@@ -44,6 +46,9 @@ func Noise(c *Country, share float64) (*NoiseResult, error) {
 		res.RealRecall[m.Short] = map[string]float64{}
 	}
 	for _, ds := range c.Datasets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Networks = append(res.Networks, ds.Name)
 		full := ds.Latest()
 		spur := ds.Spurious[len(ds.Spurious)-1]

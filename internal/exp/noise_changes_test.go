@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestNoiseRetention(t *testing.T) {
 	c := testCountry(t)
-	res, err := Noise(c, 0.1)
+	res, err := Noise(context.Background(), c, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestNoiseRetention(t *testing.T) {
 func TestChangesDriver(t *testing.T) {
 	c := testCountry(t)
 	ds := c.Datasets[0] // Business
-	res, err := Changes(ds, 0.01, 10)
+	res, err := Changes(context.Background(), ds, 0.01, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

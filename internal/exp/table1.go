@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -22,10 +23,13 @@ type Table1Result struct {
 // predicted variance of the transformed lift from the Bayesian model,
 // then measures the realized variance of that edge's transformed lift
 // over all years, and correlates the two across edges.
-func Table1(c *Country) (*Table1Result, error) {
+func Table1(ctx context.Context, c *Country) (*Table1Result, error) {
 	nc := core.New()
 	res := &Table1Result{Corr: map[string]float64{}}
 	for _, ds := range c.Datasets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Networks = append(res.Networks, ds.Name)
 
 		base := ds.Years[0]

@@ -1,19 +1,11 @@
 package exp
 
 import (
+	"context"
 	"math"
 
-	"repro/internal/stats"
+	"repro/internal/eval"
 )
-
-// fitR2 fits an OLS design and returns its R².
-func fitR2(y []float64, xs [][]float64) (float64, error) {
-	res, err := stats.OLS(y, xs...)
-	if err != nil {
-		return math.NaN(), err
-	}
-	return res.R2, nil
-}
 
 // Table2Result holds the Quality experiment (Section V-E): the R² ratio
 // of the per-network OLS model restricted to each method's backbone
@@ -33,15 +25,20 @@ type Table2Result struct {
 // network. Following the paper, tunable methods are fixed to the edge
 // count of a strict High Salience Skeleton (salience > 0.7), since HSS
 // "always return[s] the fewest number of edges"; MST and DS keep their
-// parameter-free sizes.
-func Table2(c *Country) (*Table2Result, error) {
+// parameter-free sizes. The per-method evaluation — size-matched
+// extraction, backbone-restricted OLS, the shared full-network
+// denominator — is one eval.Compare run with the country predictors as
+// the quality design.
+func Table2(ctx context.Context, c *Country) (*Table2Result, error) {
 	res := &Table2Result{
 		Methods:   Methods(),
 		Quality:   map[string]map[string]float64{},
 		EdgeShare: map[string]float64{},
 	}
-	for _, m := range res.Methods {
+	names := make([]string, len(res.Methods))
+	for i, m := range res.Methods {
 		res.Quality[m.Short] = map[string]float64{}
+		names[i] = m.Short
 	}
 	for _, ds := range c.Datasets {
 		res.Networks = append(res.Networks, ds.Name)
@@ -51,7 +48,10 @@ func Table2(c *Country) (*Table2Result, error) {
 		// threshold, per the paper's protocol ("we usually choose the
 		// number of edges obtained with low threshold values for the
 		// High Salience Skeleton").
-		hss, _ := MethodByShort("hss")
+		hss, err := MethodByShort("hss")
+		if err != nil {
+			return nil, err
+		}
 		sH, err := hss.Scorer.Scores(full)
 		if err != nil {
 			return nil, err
@@ -65,37 +65,21 @@ func Table2(c *Country) (*Table2Result, error) {
 		}
 		res.EdgeShare[ds.Name] = float64(k) / float64(full.NumEdges())
 
-		// The full-network fit is the shared denominator.
-		yF, xF, err := c.Pred.Design(ds.Name, full.Edges())
+		grades, err := eval.Compare(ctx, full, eval.Config{
+			Methods: names,
+			TopK:    k, TopKSet: true,
+			Designer: c.Pred,
+			Dataset:  ds.Name,
+		})
 		if err != nil {
 			return nil, err
 		}
-		r2Full, err := fitR2(yF, xF)
-		if err != nil {
-			return nil, err
-		}
-
-		for _, m := range res.Methods {
-			bb, err := BackboneWithK(m, full, k)
-			if err != nil {
-				res.Quality[m.Short][ds.Name] = math.NaN() // paper's n/a
+		for _, me := range grades.Methods {
+			if me.Err != "" {
+				res.Quality[me.Method][ds.Name] = math.NaN() // paper's n/a
 				continue
 			}
-			edges := RestrictEdges(full, bb)
-			if len(edges) == 0 || r2Full <= 0 {
-				res.Quality[m.Short][ds.Name] = math.NaN()
-				continue
-			}
-			yB, xB, err := c.Pred.Design(ds.Name, edges)
-			if err != nil {
-				return nil, err
-			}
-			r2B, err := fitR2(yB, xB)
-			if err != nil {
-				res.Quality[m.Short][ds.Name] = math.NaN()
-				continue
-			}
-			res.Quality[m.Short][ds.Name] = r2B / r2Full
+			res.Quality[me.Method][ds.Name] = float64(me.Quality)
 		}
 	}
 	return res, nil

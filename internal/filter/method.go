@@ -233,6 +233,7 @@ var reservedParams = map[string]bool{
 	"method": true, "top": true, "frac": true, "parallel": true,
 	"directed": true, "o": true, "list": true, "help": true,
 	"format": true, "outformat": true,
+	"eval": true, "methods": true, "next": true, "response": true,
 }
 
 // validate checks a Method for registration.

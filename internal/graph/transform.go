@@ -73,6 +73,47 @@ func (g *Graph) Undirected() *Graph {
 	return b.Build()
 }
 
+// UndirectedWeight returns the total weight between u and v regardless
+// of direction: the single edge weight for undirected graphs, the sum
+// of both arc directions for directed ones. Cross-snapshot joins use it
+// when an undirected backbone (HSS and MST symmetrize directed inputs)
+// is compared against a directed observation, so year-over-year weights
+// stay well defined. O(log min(deg u, deg v)) per call.
+func (g *Graph) UndirectedWeight(u, v int) float64 {
+	w1, _ := g.Weight(u, v)
+	if !g.directed {
+		return w1
+	}
+	w2, _ := g.Weight(v, u)
+	return w1 + w2
+}
+
+// AlignLabels re-expresses g on ref's node-ID space by matching node
+// labels: each edge (u, v) of g becomes (ref.NodeID(label u),
+// ref.NodeID(label v)), with weights of label-colliding edges summed by
+// the builder as usual. Edges with an endpoint whose label ref does not
+// know are dropped — they cannot participate in any ID-keyed
+// comparison against ref anyway. Cross-graph criteria (edge-set
+// Jaccard, cross-snapshot weight joins) compare by node ID, so two
+// graphs read from independent edge lists — whose first-appearance ID
+// orders almost always differ — must be aligned first.
+func AlignLabels(ref, g *Graph) *Graph {
+	b := NewBuilder(g.directed)
+	b.labels = append([]string(nil), ref.labels...)
+	for l, id := range ref.index {
+		b.index[l] = id
+	}
+	for _, e := range g.edges {
+		u := ref.NodeID(g.Label(int(e.Src)))
+		v := ref.NodeID(g.Label(int(e.Dst)))
+		if u < 0 || v < 0 {
+			continue
+		}
+		b.MustAddEdge(u, v, e.Weight)
+	}
+	return b.Build()
+}
+
 // EdgeKey uniquely identifies an edge by endpoints for cross-graph
 // comparison (Jaccard recovery, stability across years). For undirected
 // graphs the key is order-normalized.

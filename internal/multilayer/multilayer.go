@@ -85,17 +85,14 @@ func (m *Multilayer) CoupledScores(rho float64) ([]*filter.Scores, error) {
 	// Pooled pair frequencies per layer: for layer l, the share of the
 	// other layers' total weight carried by each pair. Directed pairs
 	// are pooled directionally; an undirected layer contributes its
-	// weight to both directions.
-	weights := make([]map[graph.EdgeKey]float64, len(m.layers))
+	// weight to both directions. The per-pair weights are read straight
+	// off each layer's CSR adjacency (binary search in the smaller
+	// endpoint's sorted arc range) instead of materializing a
+	// map[EdgeKey]float64 per layer — graph.Weight already implements
+	// exactly the directional semantics the maps encoded, which the
+	// multilayer oracle test pins.
 	totals := make([]float64, len(m.layers))
 	for li, g := range m.layers {
-		weights[li] = make(map[graph.EdgeKey]float64, 2*g.NumEdges())
-		for _, e := range g.Edges() {
-			weights[li][graph.EdgeKey{U: e.Src, V: e.Dst}] += e.Weight
-			if !g.Directed() {
-				weights[li][graph.EdgeKey{U: e.Dst, V: e.Src}] += e.Weight
-			}
-		}
 		totals[li] = g.TotalWeight()
 	}
 
@@ -119,9 +116,10 @@ func (m *Multilayer) CoupledScores(rho float64) ([]*filter.Scores, error) {
 		}
 		for id, e := range g.Edges() {
 			var poolW float64
-			for lj := range m.layers {
+			for lj, other := range m.layers {
 				if lj != li {
-					poolW += weights[lj][graph.EdgeKey{U: e.Src, V: e.Dst}]
+					w, _ := other.Weight(int(e.Src), int(e.Dst))
+					poolW += w
 				}
 			}
 			var pPool float64

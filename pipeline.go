@@ -27,17 +27,50 @@ func LookupMethod(name string) (*Method, error) { return filter.Lookup(name) }
 
 // config collects the pipeline options; zero value = NC at defaults.
 type config struct {
-	method   string
-	params   filter.Params
-	topK     int
-	topKSet  bool
-	topFrac  float64
-	fracSet  bool
-	parallel bool
-	scores   *Scores
-	progress func(done, total int)
-	lenient  bool // skip params the method does not declare (BackboneAll)
-	err      error
+	method    string
+	methodSet bool
+	params    filter.Params
+	topK      int
+	topKSet   bool
+	topFrac   float64
+	fracSet   bool
+	parallel  bool
+	scores    *Scores
+	progress  func(done, total int)
+	lenient   bool // skip params the method does not declare (BackboneAll)
+	err       error
+
+	// Evaluation-only options (EvaluateContext / CompareContext); see
+	// eval.go. resolve rejects them on the single-method pipeline.
+	evalMethods     []string
+	evalNext        *Graph
+	evalTruth       *Graph
+	evalDesigner    Designer
+	evalDataset     string
+	evalSource      ScoreSource
+	evalProgress    func(method string, done, total int)
+	evalConcurrency int
+}
+
+// evalOnly names the first evaluation-only option set on c, or "".
+func (c *config) evalOnly() string {
+	switch {
+	case c.evalMethods != nil:
+		return "WithMethods"
+	case c.evalNext != nil:
+		return "WithNextSnapshot"
+	case c.evalTruth != nil:
+		return "WithGroundTruth"
+	case c.evalDesigner != nil:
+		return "WithQualityDesign"
+	case c.evalSource != nil:
+		return "WithScoreSource"
+	case c.evalProgress != nil:
+		return "WithEvalProgress"
+	case c.evalConcurrency != 0:
+		return "WithEvalConcurrency"
+	}
+	return ""
 }
 
 // Option configures Backbone, Score and BackboneAll.
@@ -53,7 +86,7 @@ func (c *config) setErr(err error) {
 // ("nc", "df", "hss", "ds", "mst", "nt", "nc-binomial", "kcore").
 // The default is "nc".
 func WithMethod(name string) Option {
-	return func(c *config) { c.method = name }
+	return func(c *config) { c.method, c.methodSet = name, true }
 }
 
 // WithParam sets one method parameter by its schema name. Setting a
@@ -183,6 +216,9 @@ func resolve(opts []Option) (*config, *Method, error) {
 	}
 	if c.err != nil {
 		return nil, nil, c.err
+	}
+	if name := c.evalOnly(); name != "" {
+		return nil, nil, &ParamError{Param: name, Reason: "option only applies to Evaluate/Compare"}
 	}
 	m, err := filter.Lookup(c.method)
 	if err != nil {
