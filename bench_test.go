@@ -34,6 +34,7 @@ func benchCountry(b *testing.B) *exp.Country {
 }
 
 func BenchmarkFig1CommunityRecovery(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig1(context.Background(), 1, 60, 3); err != nil {
 			b.Fatal(err)
@@ -44,6 +45,7 @@ func BenchmarkFig1CommunityRecovery(b *testing.B) {
 func BenchmarkFig2ScoreDistributions(b *testing.B) {
 	c := benchCountry(b)
 	g := c.Datasets[1].Latest()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig2(context.Background(), "Country Space", g, []float64{1, 2, 3}, 24); err != nil {
@@ -53,6 +55,7 @@ func BenchmarkFig2ScoreDistributions(b *testing.B) {
 }
 
 func BenchmarkFig3ToyExample(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig3(context.Background()); err != nil {
 			b.Fatal(err)
@@ -63,6 +66,7 @@ func BenchmarkFig3ToyExample(b *testing.B) {
 func BenchmarkFig4Recovery(b *testing.B) {
 	cfg := exp.Fig4Config{Seed: 4, Nodes: 60, MeanDegree: 3,
 		Etas: []float64{0.1}, Reps: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -74,6 +78,7 @@ func BenchmarkFig4Recovery(b *testing.B) {
 
 func BenchmarkFig5WeightDistributions(b *testing.B) {
 	c := benchCountry(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.Fig5(c)
@@ -82,6 +87,7 @@ func BenchmarkFig5WeightDistributions(b *testing.B) {
 
 func BenchmarkFig6LocalCorrelation(b *testing.B) {
 	c := benchCountry(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.Fig6(c)
@@ -90,6 +96,7 @@ func BenchmarkFig6LocalCorrelation(b *testing.B) {
 
 func BenchmarkFig7Coverage(b *testing.B) {
 	c := benchCountry(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig7(context.Background(), c); err != nil {
@@ -100,6 +107,7 @@ func BenchmarkFig7Coverage(b *testing.B) {
 
 func BenchmarkFig8Stability(b *testing.B) {
 	c := benchCountry(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Fig8(context.Background(), c); err != nil {
@@ -110,6 +118,7 @@ func BenchmarkFig8Stability(b *testing.B) {
 
 func BenchmarkTable1VarianceValidation(b *testing.B) {
 	c := benchCountry(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Table1(context.Background(), c); err != nil {
@@ -120,6 +129,7 @@ func BenchmarkTable1VarianceValidation(b *testing.B) {
 
 func BenchmarkTable2Quality(b *testing.B) {
 	c := benchCountry(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Table2(context.Background(), c); err != nil {
@@ -131,6 +141,7 @@ func BenchmarkTable2Quality(b *testing.B) {
 func BenchmarkCaseStudy(b *testing.B) {
 	cfg := occupations.Config{Seed: 3, Majors: 5, MinorsPerMajor: 2, OccsPerMinor: 10,
 		CoreSkills: 12, GenericSkills: 20}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.CaseStudy(context.Background(), cfg); err != nil {
@@ -156,6 +167,7 @@ func benchScorer(b *testing.B, short string, n int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.BackboneWithShare(m, g, 0.1); err != nil {
@@ -185,6 +197,7 @@ func BenchmarkFig9DS1k(b *testing.B)    { benchScorer(b, "ds", 1_000) }
 
 func BenchmarkNCScoresOnly100k(b *testing.B) {
 	g := fig9Graph(b, 100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NCScores(g); err != nil {
@@ -207,6 +220,7 @@ func benchGraphBuild(b *testing.B, nodes, m int) {
 		}
 		edges[i] = e{u, v, rng.Float64()}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bld := NewBuilder(false)
@@ -231,6 +245,7 @@ func benchExtract(b *testing.B, n int, prune func(s *Scores) *Graph) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if bb := prune(s); bb.NumNodes() != g.NumNodes() {

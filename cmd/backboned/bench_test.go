@@ -35,6 +35,7 @@ func benchDaemon(b *testing.B, unique bool) {
 		}
 	}
 	post(base) // warm: the cache-hit benchmark measures pure hits
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		body := base
@@ -80,6 +81,7 @@ func BenchmarkDaemonEvaluateCacheHit(b *testing.B) {
 		}
 	}
 	post("miss") // warm: every measured request is a pure cache hit
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		post("hit")

@@ -1,0 +1,19 @@
+// Backbonevet machine-enforces the repository's correctness
+// invariants as a go vet tool:
+//
+//	go build -o backbonevet ./cmd/backbonevet
+//	go vet -vettool=$PWD/backbonevet ./...
+//
+// Run `backbonevet` with no arguments for the analyzer list; the
+// README's "Static analysis" section documents each invariant and the
+// //lint:<analyzer>-ok escape hatches.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Suite()...)
+}

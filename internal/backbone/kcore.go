@@ -82,6 +82,8 @@ func CoreNumbers(g *graph.Graph) []int {
 // Scores assigns each edge the minimum core number of its endpoints.
 // The table refers to the undirected view for directed inputs, since
 // the decomposition is degree-based.
+//
+//lint:ctxflow-ok filter.Scorer implementation: the pipeline's ContextScorer wrapper owns cancellation
 func (k *KCore) Scores(g *graph.Graph) (*filter.Scores, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("backbone: empty graph")

@@ -12,6 +12,7 @@ package community
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -46,12 +47,46 @@ func newAdj(g *graph.Graph) *adj {
 }
 
 // strength returns the total incident weight of u (self-loops twice).
+// The fold runs in sorted-neighbor order so the float sum is identical
+// across runs.
 func (a *adj) strength(u int) float64 {
 	s := 2 * a.self[u]
-	for _, w := range a.nbr[u] {
-		s += w
+	for _, v := range sortedKeys(a.nbr[u]) {
+		s += a.nbr[u][v]
 	}
 	return s
+}
+
+// sortedKeys returns m's keys in increasing order — the canonical
+// iteration order for the map-based adjacency. Go randomizes map range
+// order per run, so every float fold or argmax over these maps must go
+// through a sorted key slice to keep optimizer runs bit-reproducible
+// for a fixed seed.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	//lint:detiter-ok collecting keys only; the slice is sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedPairKeys is sortedKeys for pair-keyed tables (NMI's joint
+// histogram), ordered lexicographically.
+func sortedPairKeys(m map[[2]int]float64) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	//lint:detiter-ok collecting keys only; the slice is sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
 }
 
 // aggregate merges nodes into supernodes according to part (labels must
@@ -69,8 +104,9 @@ func (a *adj) aggregate(part []int, k int) *adj {
 	for u := 0; u < a.n; u++ {
 		cu := part[u]
 		q.self[cu] += a.self[u]
-		for v, w := range a.nbr[u] {
+		for _, v := range sortedKeys(a.nbr[u]) {
 			if u < v {
+				w := a.nbr[u][v]
 				cv := part[v]
 				if cu == cv {
 					q.self[cu] += w

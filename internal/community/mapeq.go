@@ -19,6 +19,8 @@ import (
 //
 // where p_α is node α's visit rate (strength share) and q_m module m's
 // exit rate.
+//
+//lint:ctxflow-ok case-study criterion: one fold over an already-pruned backbone, between the engine's ctx checks
 func CodeLength(g *graph.Graph, part []int) float64 {
 	u := g.Undirected()
 	if u.TotalWeight() == 0 {
@@ -74,22 +76,23 @@ func (a *adj) codeLength(part []int) float64 {
 		p := a.strength(u) / twoM
 		pm[cu] += p
 		nodeTerm += plogp(p)
-		for v, w := range a.nbr[u] {
+		for _, v := range sortedKeys(a.nbr[u]) {
 			if part[v] != cu {
-				qm[cu] += w / twoM
+				qm[cu] += a.nbr[u][v] / twoM
 			}
 		}
 	}
 	var sumQ, qTerm, moduleTerm float64
-	for c, q := range qm {
+	for _, c := range sortedKeys(qm) {
+		q := qm[c]
 		sumQ += q
 		qTerm += plogp(q)
 		moduleTerm += plogp(q + pm[c])
 	}
 	// Modules with zero exit still need their intra term.
-	for c, p := range pm {
+	for _, c := range sortedKeys(pm) {
 		if _, ok := qm[c]; !ok {
-			moduleTerm += plogp(p)
+			moduleTerm += plogp(pm[c])
 		}
 	}
 	return plogp(sumQ) - 2*qTerm - nodeTerm + moduleTerm
@@ -149,15 +152,15 @@ func (a *adj) localMoveMapEq(part []int, rng *rand.Rand) {
 	for u := 0; u < a.n; u++ {
 		pa[u] = a.strength(u) / twoM
 		pm[part[u]] += pa[u]
-		for v, w := range a.nbr[u] {
+		for _, v := range sortedKeys(a.nbr[u]) {
 			if part[v] != part[u] {
-				qm[part[u]] += w / twoM
+				qm[part[u]] += a.nbr[u][v] / twoM
 			}
 		}
 	}
 	var sumQ float64
-	for _, q := range qm {
-		sumQ += q
+	for _, c := range sortedKeys(qm) {
+		sumQ += qm[c]
 	}
 	// deltaRemove computes the change in the module-dependent terms when
 	// u leaves module c (with wc = weight from u into c, excluding u).
@@ -168,7 +171,8 @@ func (a *adj) localMoveMapEq(part []int, rng *rand.Rand) {
 			cu := part[u]
 			wTo := map[int]float64{}
 			var wTotal float64
-			for v, w := range a.nbr[u] {
+			for _, v := range sortedKeys(a.nbr[u]) {
+				w := a.nbr[u][v]
 				wTo[part[v]] += w / twoM
 				wTotal += w / twoM
 			}
@@ -190,7 +194,11 @@ func (a *adj) localMoveMapEq(part []int, rng *rand.Rand) {
 			best := cand{c: cu, q: qOld, p: pOld, sumQ: sumQ}
 			bestDelta := 0.0
 			base := plogp(sumQ) + termsFor(qOld, pOld)
-			for c := range wTo {
+			// Candidates in sorted order: under the strict-improvement
+			// threshold below, equal-delta candidates resolve to the
+			// lowest module id every run instead of map order — the
+			// documented fixed-seed reproducibility depends on it.
+			for _, c := range sortedKeys(wTo) {
 				if c == cu {
 					continue
 				}

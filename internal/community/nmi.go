@@ -22,15 +22,15 @@ func NMI(a, b []int) float64 {
 		joint[[2]int{a[i], b[i]}]++
 	}
 	var ha, hb float64
-	for _, c := range ca {
-		ha -= plogp(c / n)
+	for _, k := range sortedKeys(ca) {
+		ha -= plogp(ca[k] / n)
 	}
-	for _, c := range cb {
-		hb -= plogp(c / n)
+	for _, k := range sortedKeys(cb) {
+		hb -= plogp(cb[k] / n)
 	}
 	var mi float64
-	for key, c := range joint {
-		pxy := c / n
+	for _, key := range sortedPairKeys(joint) {
+		pxy := joint[key] / n
 		px := ca[key[0]] / n
 		py := cb[key[1]] / n
 		mi += pxy * math.Log2(pxy/(px*py))

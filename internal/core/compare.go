@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/stats"
@@ -76,13 +77,15 @@ type EdgeChange struct {
 // significant change in its noise-corrected strength. An edge absent
 // from one observation is scored there with weight zero (score -1 and
 // the posterior variance of a zero-weight pair). Results are returned
-// for edges whose two-tailed p-value is at most alpha; pass alpha = 1
-// to get every edge.
+// for edges whose two-tailed p-value is at most alpha, in ascending
+// (U, V) key order; pass alpha = 1 to get every edge.
 //
 // Distinguishing real from spurious changes is precisely what raw
 // weight differences cannot do in noisy data: a weight doubling on a
 // thin edge is routine measurement noise, while a modest shift on a
 // well-measured heavy edge can be overwhelming evidence.
+//
+//lint:ctxflow-ok terminal analysis, not a pipeline stage: one O(m) pass per observation at the caller's boundary
 func Changes(before, after *graph.Graph, alpha float64) ([]EdgeChange, error) {
 	if before.Directed() != after.Directed() {
 		return nil, fmt.Errorf("core: cannot compare a directed with an undirected network")
@@ -114,15 +117,27 @@ func Changes(before, after *graph.Graph, alpha float64) ([]EdgeChange, error) {
 
 	mb := collect(before)
 	ma := collect(after)
-	keys := make(map[graph.EdgeKey]bool, len(mb)+len(ma))
+	keys := make([]graph.EdgeKey, 0, len(mb)+len(ma))
+	//lint:detiter-ok collecting the key union; sorted below
 	for k := range mb {
-		keys[k] = true
+		keys = append(keys, k)
 	}
+	//lint:detiter-ok collecting the key union; sorted below
 	for k := range ma {
-		keys[k] = true
+		if _, ok := mb[k]; !ok {
+			keys = append(keys, k)
+		}
 	}
+	// Sorted key order keeps the returned slice deterministic — callers
+	// diff and serialize it, so it must not inherit map range order.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].U != keys[j].U {
+			return keys[i].U < keys[j].U
+		}
+		return keys[i].V < keys[j].V
+	})
 	var out []EdgeChange
-	for key := range keys {
+	for _, key := range keys {
 		if int(key.U) >= before.NumNodes() || int(key.V) >= before.NumNodes() ||
 			int(key.U) >= after.NumNodes() || int(key.V) >= after.NumNodes() {
 			return nil, fmt.Errorf("core: node %v outside the smaller network's node set", key)

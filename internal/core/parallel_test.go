@@ -57,6 +57,7 @@ func TestParallelSmallGraphFallback(t *testing.T) {
 func BenchmarkSerialNC100k(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	g := gen.ErdosRenyiGNM(rng, 70_000, 100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := New().Scores(g); err != nil {
@@ -68,6 +69,7 @@ func BenchmarkSerialNC100k(b *testing.B) {
 func BenchmarkParallelNC100k(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	g := gen.ErdosRenyiGNM(rng, 70_000, 100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewParallel().Scores(g); err != nil {

@@ -200,7 +200,8 @@ func run(ctx context.Context, g *graph.Graph, cfg Config, sizeMatched bool) (*Re
 	}
 	// Ride-along parameters must be declared by at least one selected
 	// method — an undeclared one is a misspelling (BackboneAll rule).
-	for name := range cfg.Params {
+	// Sorted order pins which one the error names.
+	for _, name := range cfg.Params.Names() {
 		declared := false
 		for _, m := range selected {
 			if _, ok := m.Param(name); ok {
@@ -320,6 +321,7 @@ func ranking(evals []*MethodEval) []string {
 // BackboneAll's ride-along semantics.
 func lenientParams(m *filter.Method, overrides filter.Params) filter.Params {
 	kept := filter.Params{}
+	//lint:detiter-ok filtering into another map; the kept set is order-independent
 	for name, v := range overrides {
 		if _, ok := m.Param(name); ok {
 			kept[name] = v

@@ -105,6 +105,8 @@ func Recovery(backbone, truth *graph.Graph) float64 {
 // directed inputs) each pair's weight is the sum of both directions,
 // looked up by binary search — the semantics year-over-year comparisons
 // need (see graph.UndirectedWeight).
+//
+//lint:ctxflow-ok merge-walk criterion primitive: the eval engine checks ctx between criteria
 func WeightJoin(backbone, next *graph.Graph, cur, nxt []float64) ([]float64, []float64) {
 	eb := backbone.Edges()
 	if backbone.Directed() != next.Directed() {
@@ -150,6 +152,8 @@ func Stability(backbone *graph.Graph, next *graph.Graph) float64 {
 // canonical sorted edge slices; an undirected backbone over a directed
 // full graph keeps both orientations of each surviving pair, resolved
 // by binary-search membership tests.
+//
+//lint:ctxflow-ok merge-walk criterion primitive: the eval engine checks ctx between criteria
 func RestrictEdges(full, bb *graph.Graph) []graph.Edge {
 	out := make([]graph.Edge, 0, bb.NumEdges())
 	ef := full.Edges()

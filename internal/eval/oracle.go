@@ -18,6 +18,7 @@ import (
 // compared graphs disagree on directedness).
 func Jaccard(a, b map[graph.EdgeKey]bool) float64 {
 	inter := 0
+	//lint:detiter-ok integer membership count; commutative in any order
 	for k := range a {
 		if b[k] {
 			inter++
@@ -58,6 +59,8 @@ func weightJoinOracle(backbone, next *graph.Graph) (cur, nxt []float64) {
 // RestrictEdgesOracle is the map-based oracle behind RestrictEdges: a
 // key set over the backbone (both orientations when the backbone is
 // undirected) filters the full edge slice.
+//
+//lint:ctxflow-ok property-test oracle: exported for the eval tests, never on a served path
 func RestrictEdgesOracle(full, bb *graph.Graph) []graph.Edge {
 	keep := make(map[graph.EdgeKey]bool, bb.NumEdges())
 	for _, e := range bb.Edges() {

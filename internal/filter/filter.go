@@ -12,6 +12,7 @@ package filter
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -59,9 +60,16 @@ func (s *Scores) Validate() error {
 	if len(s.Score) != s.G.NumEdges() {
 		return fmt.Errorf("filter: %d scores for %d edges", len(s.Score), s.G.NumEdges())
 	}
-	for name, col := range s.Aux {
-		if len(col) != len(s.Score) {
-			return fmt.Errorf("filter: aux column %q has %d rows, want %d", name, len(col), len(s.Score))
+	// Sorted order pins which column a multi-error table is reported for.
+	names := make([]string, 0, len(s.Aux))
+	//lint:detiter-ok collecting keys only; sorted before use
+	for name := range s.Aux {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if len(s.Aux[name]) != len(s.Score) {
+			return fmt.Errorf("filter: aux column %q has %d rows, want %d", name, len(s.Aux[name]), len(s.Score))
 		}
 	}
 	return nil

@@ -16,10 +16,24 @@ type Params map[string]float64
 // Clone returns an independent copy of p.
 func (p Params) Clone() Params {
 	out := make(Params, len(p))
+	//lint:detiter-ok copying into another map; insertion order is irrelevant
 	for k, v := range p {
 		out[k] = v
 	}
 	return out
+}
+
+// Names returns p's parameter names in sorted order — the canonical
+// iteration order, so validation errors and reports do not inherit
+// Go's randomized map range order.
+func (p Params) Names() []string {
+	names := make([]string, 0, len(p))
+	//lint:detiter-ok collecting keys only; sorted before use
+	for name := range p {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Param describes one tunable parameter of a backboning method: its
@@ -103,7 +117,9 @@ func (m *Method) Defaults() Params {
 // caller bug, not something to ignore silently.
 func (m *Method) Resolve(overrides Params) (Params, error) {
 	p := m.Defaults()
-	for name, v := range overrides {
+	// Sorted order pins which override a multi-error input is reported
+	// for, keeping the failure deterministic.
+	for _, name := range overrides.Names() {
 		if _, ok := m.Param(name); !ok {
 			return nil, &ParamError{
 				Method: m.Name,
@@ -112,7 +128,7 @@ func (m *Method) Resolve(overrides Params) (Params, error) {
 				Err:    ErrUnknownParam,
 			}
 		}
-		p[name] = v
+		p[name] = overrides[name]
 	}
 	return p, nil
 }
@@ -315,6 +331,7 @@ func (r *Registry) Lookup(name string) (*Method, error) {
 func (r *Registry) All() []*Method {
 	r.mu.RLock()
 	out := make([]*Method, 0, len(r.methods))
+	//lint:detiter-ok collecting values only; sorted by (Order, Name) below
 	for _, m := range r.methods {
 		out = append(out, m)
 	}

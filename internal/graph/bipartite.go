@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Bipartite is a two-mode incidence structure (rows × columns) with
 // non-negative weights — e.g. countries × products, or occupations ×
@@ -61,33 +64,59 @@ func (bp *Bipartite) Set(r, c int, w float64) error {
 // the sum over shared columns of the product of the two incidence
 // weights (the standard weighted projection).
 func (bp *Bipartite) ProjectRows(weighted bool) *Graph {
-	// Column -> rows incident to it.
-	cols := make(map[int32][]int32)
+	// Incidence keys in sorted (row, col) order: the weighted float
+	// accumulation below must not inherit map range order, or projected
+	// weights drift by ULPs between runs.
+	keys := make([][2]int32, 0, len(bp.weights))
+	//lint:detiter-ok collecting keys only; sorted before use
 	for key := range bp.weights {
-		cols[key[1]] = append(cols[key[1]], key[0])
+		keys = append(keys, key)
 	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	// Column -> rows incident to it (rows ascending, from the key sort).
+	cols := make(map[int32][]int32)
+	var colIDs []int32
+	for _, key := range keys {
+		c := key[1]
+		if _, ok := cols[c]; !ok {
+			colIDs = append(colIDs, c)
+		}
+		cols[c] = append(cols[c], key[0])
+	}
+	sort.Slice(colIDs, func(i, j int) bool { return colIDs[i] < colIDs[j] })
 	b := NewBuilder(false)
 	for _, l := range bp.rowLabels {
 		b.AddNode(l)
 	}
 	acc := make(map[[2]int32]float64)
-	for c, rows := range cols {
+	var pairs [][2]int32 // first-appearance order; deterministic given the sorts above
+	for _, c := range colIDs {
+		rows := cols[c]
 		for i := 0; i < len(rows); i++ {
 			for j := i + 1; j < len(rows); j++ {
 				u, v := rows[i], rows[j]
 				if u > v {
 					u, v = v, u
 				}
+				k := [2]int32{u, v}
+				if _, ok := acc[k]; !ok {
+					pairs = append(pairs, k)
+				}
 				if weighted {
-					acc[[2]int32{u, v}] += bp.weights[[2]int32{u, c}] * bp.weights[[2]int32{v, c}]
+					acc[k] += bp.weights[[2]int32{u, c}] * bp.weights[[2]int32{v, c}]
 				} else {
-					acc[[2]int32{u, v}]++
+					acc[k]++
 				}
 			}
 		}
 	}
-	for key, w := range acc {
-		b.MustAddEdge(int(key[0]), int(key[1]), w)
+	for _, key := range pairs {
+		b.MustAddEdge(int(key[0]), int(key[1]), acc[key])
 	}
 	return b.Build()
 }

@@ -106,6 +106,7 @@ func (b *Builder) Build() *Graph {
 		index:    make(map[string]int32, len(b.index)),
 		edges:    mergeEdges(b.edges),
 	}
+	//lint:detiter-ok copying into another map; insertion order is irrelevant
 	for k, v := range b.index {
 		g.index[k] = v
 	}
@@ -319,6 +320,8 @@ func (g *Graph) buildCSR(n int) {
 
 // FromEdges builds a graph over n anonymous nodes from an edge slice.
 // It panics on invalid edges; intended for generators and tests.
+//
+//lint:ctxflow-ok generator/test constructor: one tight O(m) pass, not a served pipeline stage
 func FromEdges(directed bool, n int, edges []Edge) *Graph {
 	b := NewBuilder(directed)
 	b.AddNodes(n)

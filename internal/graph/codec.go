@@ -93,6 +93,7 @@ func (c *chunkReader) next() ([]byte, int64, error) {
 		buf = buf[:len(c.carry)+n]
 		switch err {
 		case nil:
+		//lint:errdiscipline-ok io.ReadFull documents returning these sentinels unwrapped
 		case io.EOF, io.ErrUnexpectedEOF:
 			c.eof = true
 		default:
@@ -140,6 +141,7 @@ func readEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	// First chunk up front: single-chunk inputs (small daemon bodies)
 	// and single-worker environments skip the goroutine machinery.
 	first, firstStart, err := cr.next()
+	//lint:errdiscipline-ok chunkReader.next hands back io.EOF unwrapped, and this runs per chunk
 	if err == io.EOF {
 		return b.buildOwned(), nil
 	}
@@ -159,6 +161,7 @@ func readEdgeList(r io.Reader, directed bool) (*Graph, error) {
 				return nil, res.err
 			}
 			if first, firstStart, err = cr.next(); err != nil {
+				//lint:errdiscipline-ok chunkReader.next hands back io.EOF unwrapped, and this runs per chunk
 				if err == io.EOF {
 					return b.buildOwned(), nil
 				}
@@ -195,6 +198,7 @@ func readEdgeList(r io.Reader, directed bool) (*Graph, error) {
 			}
 			var err error
 			if data, start, err = cr.next(); err != nil {
+				//lint:errdiscipline-ok chunkReader.next hands back io.EOF unwrapped, and this runs per chunk
 				if err != io.EOF {
 					out := make(chan chunkResult, 1)
 					out <- chunkResult{err: err}
@@ -279,6 +283,7 @@ func byteOffset(base, sub []byte) int32 {
 	if len(sub) == 0 {
 		return 0
 	}
+	//lint:unsafezone-ok sub is a sub-slice of base (documented precondition), so both pointers land in one allocation and the difference is a plain offset
 	return int32(uintptr(unsafe.Pointer(&sub[0])) - uintptr(unsafe.Pointer(&base[0])))
 }
 
@@ -389,6 +394,7 @@ func bstr(b []byte) string {
 	if len(b) == 0 {
 		return ""
 	}
+	//lint:unsafezone-ok write-once backing bytes (doc contract above) are never mutated after the view, and the string keeps them alive
 	return unsafe.String(&b[0], len(b))
 }
 

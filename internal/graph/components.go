@@ -5,6 +5,8 @@ import "repro/internal/unionfind"
 // WeakComponents returns a dense component label for each node, ignoring
 // edge direction, plus the number of components. Isolated nodes form
 // singleton components.
+//
+//lint:ctxflow-ok tight O(m α(n)) union-find pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) WeakComponents() (labels []int, count int) {
 	uf := unionfind.New(g.NumNodes())
 	for _, e := range g.edges {

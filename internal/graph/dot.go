@@ -30,6 +30,8 @@ var dotPalette = []string{
 // WriteDOT renders the graph in GraphViz DOT format, the visualization
 // path for the backbone figures: color classes become fill colors and
 // node sizes scale with the supplied magnitudes.
+//
+//lint:ctxflow-ok figure writer over an already-pruned backbone; the caller's io.Writer bounds it
 func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
 	bw := bufio.NewWriter(w)
 	name := opts.Name

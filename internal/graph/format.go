@@ -93,7 +93,9 @@ func LookupFormat(name string) (*Format, error) {
 	if f, ok := formatReg.formats[strings.TrimPrefix(key, ".")]; ok {
 		return f, nil
 	}
-	for _, f := range formatReg.formats {
+	// The extension fallback scans in (Order, Name) order, so two
+	// formats claiming one extension resolve the same way every run.
+	for _, f := range sortedFormatsLocked() {
 		for _, ext := range f.Exts {
 			if key == ext || "."+key == ext {
 				return f, nil
@@ -103,14 +105,14 @@ func LookupFormat(name string) (*Format, error) {
 	return nil, fmt.Errorf("graph: %w %q (known: %v)", ErrUnknownFormat, name, FormatNames())
 }
 
-// Formats returns every registered format sorted by (Order, Name).
-func Formats() []*Format {
-	formatReg.mu.RLock()
+// sortedFormatsLocked snapshots the registry in (Order, Name) order.
+// The caller must hold formatReg.mu.
+func sortedFormatsLocked() []*Format {
 	out := make([]*Format, 0, len(formatReg.formats))
+	//lint:detiter-ok collecting values only; sorted by (Order, Name) below
 	for _, f := range formatReg.formats {
 		out = append(out, f)
 	}
-	formatReg.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Order != out[j].Order {
 			return out[i].Order < out[j].Order
@@ -118,6 +120,13 @@ func Formats() []*Format {
 		return out[i].Name < out[j].Name
 	})
 	return out
+}
+
+// Formats returns every registered format sorted by (Order, Name).
+func Formats() []*Format {
+	formatReg.mu.RLock()
+	defer formatReg.mu.RUnlock()
+	return sortedFormatsLocked()
 }
 
 // FormatNames returns the registered format names in Formats order.
@@ -217,7 +226,7 @@ func ReadGraph(r io.Reader, o ReadOptions) (*Graph, error) {
 		}
 	} else {
 		prefix, err := br.Peek(4096)
-		if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, bufio.ErrBufferFull) {
 			return nil, fmt.Errorf("graph: read: %v", err)
 		}
 		f = sniffFormat(prefix)

@@ -30,6 +30,7 @@ func benchEdgeListCSV(m int) []byte {
 func benchRead(b *testing.B, m int, read func(r io.Reader, directed bool) (*Graph, error)) {
 	data := benchEdgeListCSV(m)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, err := read(bytes.NewReader(data), false)
@@ -56,6 +57,7 @@ func BenchmarkWriteCSV100k(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := g.WriteCSV(io.Discard); err != nil {
@@ -69,6 +71,7 @@ func BenchmarkWriteNDJSON100k(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := g.writeNDJSON(io.Discard); err != nil {

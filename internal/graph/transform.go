@@ -11,6 +11,8 @@ package graph
 // subgraph is assembled straight into CSR form with zero hashing, and
 // the label slice and label index are shared with g (both are immutable
 // after construction).
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) Subgraph(keep []bool) *Graph {
 	kept := 0
 	for id := range g.edges {
@@ -36,6 +38,8 @@ func (g *Graph) Subgraph(keep []bool) *Graph {
 
 // KeepEdges returns a copy of g containing only the edges whose canonical
 // ID is in keep, preserving the full node set.
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) KeepEdges(keep map[int32]bool) *Graph {
 	mask := make([]bool, len(g.edges))
 	for id := range g.edges {
@@ -46,6 +50,8 @@ func (g *Graph) KeepEdges(keep map[int32]bool) *Graph {
 
 // FilterEdges returns a copy of g containing only edges for which pred
 // returns true, preserving the full node set.
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) FilterEdges(pred func(id int, e Edge) bool) *Graph {
 	mask := make([]bool, len(g.edges))
 	for id, e := range g.edges {
@@ -58,12 +64,15 @@ func (g *Graph) FilterEdges(pred func(id int, e Edge) bool) *Graph {
 // are merged by summing their weights. If g is already undirected it is
 // returned unchanged. Used by algorithms defined only for undirected
 // graphs (Maximum Spanning Tree, High Salience Skeleton).
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) Undirected() *Graph {
 	if !g.directed {
 		return g
 	}
 	b := NewBuilder(false)
 	b.labels = append([]string(nil), g.labels...)
+	//lint:detiter-ok copying into another map; insertion order is irrelevant
 	for l, id := range g.index {
 		b.index[l] = id
 	}
@@ -97,9 +106,12 @@ func (g *Graph) UndirectedWeight(u, v int) float64 {
 // Jaccard, cross-snapshot weight joins) compare by node ID, so two
 // graphs read from independent edge lists — whose first-appearance ID
 // orders almost always differ — must be aligned first.
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func AlignLabels(ref, g *Graph) *Graph {
 	b := NewBuilder(g.directed)
 	b.labels = append([]string(nil), ref.labels...)
+	//lint:detiter-ok copying into another map; insertion order is irrelevant
 	for l, id := range ref.index {
 		b.index[l] = id
 	}
@@ -128,6 +140,8 @@ func (g *Graph) Key(e Edge) EdgeKey {
 }
 
 // EdgeSet returns the set of edge keys present in g.
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) EdgeSet() map[EdgeKey]bool {
 	set := make(map[EdgeKey]bool, len(g.edges))
 	for _, e := range g.edges {
@@ -137,6 +151,8 @@ func (g *Graph) EdgeSet() map[EdgeKey]bool {
 }
 
 // WeightMap returns edge weights keyed by EdgeKey.
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
 func (g *Graph) WeightMap() map[EdgeKey]float64 {
 	m := make(map[EdgeKey]float64, len(g.edges))
 	for _, e := range g.edges {

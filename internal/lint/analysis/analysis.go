@@ -1,0 +1,189 @@
+// Package analysis defines a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check
+// that runs over one typechecked compilation unit and reports
+// position-anchored diagnostics.
+//
+// The module deliberately has no external dependencies, so backbonevet
+// cannot import x/tools; this package keeps the same shape (Analyzer,
+// Pass, Diagnostic, per-analyzer flags) so analyzers written against it
+// port to the upstream framework mechanically if the module ever takes
+// the dependency. Facts, Requires/ResultOf chaining and SuggestedFixes
+// are intentionally out of scope: the backbonevet suite needs none of
+// them, and each analyzer walks its files directly.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass: a name (used in
+// diagnostics, flag prefixes and //lint: escape hatches), a doc string,
+// optional flags, and the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer. It must be a valid Go identifier
+	// in lower case, as it is used as a command-line flag prefix.
+	Name string
+
+	// Doc documents the analyzer. The first line is a one-sentence
+	// summary; the rest elaborates the invariant and the escape hatch.
+	Doc string
+
+	// Flags holds analyzer-specific flags, exposed by drivers under
+	// the "<name>." prefix (mirroring go vet's multichecker).
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to one package. Diagnostics flow
+	// through pass.Report; the result value is ignored by the
+	// backbonevet drivers and exists only for API fidelity.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one typechecked package to an Analyzer.Run.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	OtherFiles []string
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report delivers one diagnostic. It must not be called after
+	// Run returns.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a position in the unit.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the offending range
+	Category string    // optional: sub-check within the analyzer
+	Message  string
+}
+
+// Validate reports an error if any analyzer is misconfigured: a nil
+// Run, an invalid name, or a duplicate name within the suite.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer in suite")
+		}
+		if !validName(a.Name) {
+			return fmt.Errorf("analyzer %q has an invalid name (want lower-case identifier)", a.Name)
+		}
+		if a.Doc == "" {
+			return fmt.Errorf("analyzer %q is undocumented", a.Name)
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		if !('a' <= r && r <= 'z' || r == '_' || i > 0 && '0' <= r && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// A Unit is one parsed and typechecked compilation unit, the input
+// shared by every driver (unitchecker, analysistest).
+type Unit struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	OtherFiles []string
+	Pkg        *types.Package
+	Info       *types.Info
+	Sizes      types.Sizes
+}
+
+// A Result pairs an analyzer with its findings on one unit.
+type Result struct {
+	Analyzer    *Analyzer
+	Diagnostics []Diagnostic
+	Err         error
+}
+
+// RunUnit applies each analyzer to the unit in order and returns one
+// Result per analyzer, diagnostics sorted by position. Analyzers run
+// sequentially so output order is deterministic; a panicking analyzer
+// is reported as that analyzer's Err, not a driver crash.
+func RunUnit(u *Unit, analyzers []*Analyzer) []Result {
+	results := make([]Result, len(analyzers))
+	for i, a := range analyzers {
+		res := &results[i]
+		res.Analyzer = a
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       u.Fset,
+			Files:      u.Files,
+			OtherFiles: u.OtherFiles,
+			Pkg:        u.Pkg,
+			TypesInfo:  u.Info,
+			TypesSizes: u.Sizes,
+			Report:     func(d Diagnostic) { res.Diagnostics = append(res.Diagnostics, d) },
+		}
+		res.Err = runProtected(a, pass)
+		sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+			return res.Diagnostics[i].Pos < res.Diagnostics[j].Pos
+		})
+	}
+	return results
+}
+
+func runProtected(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer %s panicked: %v", a.Name, r)
+		}
+	}()
+	_, err = a.Run(pass)
+	return err
+}
+
+// NewInfo returns a types.Info with every map drivers need allocated,
+// so analyzers can rely on Uses/Defs/Types/Selections being populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several analyzers scope their invariant to non-test (or only
+// test) code.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,185 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want expectations, mirroring
+// x/tools' package of the same name.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A line that should
+// trigger a diagnostic carries a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// each quoted (or backquoted) Go string being a regular expression
+// that must match the message of one diagnostic reported on that
+// line. Diagnostics with no matching expectation, and expectations
+// with no matching diagnostic, both fail the test.
+//
+// Fixture packages may import the standard library only (types come
+// from the source importer, so no compiled export data is needed);
+// they cannot import each other or the enclosing module.
+package analysistest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// The fset and source importer are shared across Run calls so the
+// standard library is typechecked from source at most once per test
+// binary (the importer caches packages internally, keyed by this fset).
+var (
+	mu       sync.Mutex
+	fset     = token.NewFileSet()
+	stdlib   = importer.ForCompiler(fset, "source", nil)
+	typeInfo = analysis.NewInfo()
+)
+
+// Run analyzes each fixture package under dir/src with a and reports
+// any mismatch between diagnostics and // want expectations on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, pkg := range pkgs {
+		runPackage(t, filepath.Join(dir, "src", pkg), pkg, a)
+	}
+}
+
+func runPackage(t *testing.T, dir, path string, a *analysis.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		files = append(files, f)
+	}
+	if files == nil {
+		t.Fatalf("%s: no Go files in %s", a.Name, dir)
+	}
+
+	tc := &types.Config{
+		Importer: stdlib,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := tc.Check(path, fset, files, typeInfo)
+	if err != nil {
+		t.Fatalf("%s: typechecking %s: %v", a.Name, dir, err)
+	}
+
+	unit := &analysis.Unit{
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  typeInfo,
+		Sizes: tc.Sizes,
+	}
+	results := analysis.RunUnit(unit, []*analysis.Analyzer{a})
+	res := results[0]
+	if res.Err != nil {
+		t.Fatalf("%s: %v", a.Name, res.Err)
+	}
+
+	wants := collectWants(t, files)
+	for _, d := range res.Diagnostics {
+		posn := fset.Position(d.Pos)
+		key := lineKey{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", a.Name, posn, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", a.Name, k.file, k.line, w.rx)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := lineKey{posn.Filename, posn.Line}
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					lit, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want expectation %q", posn.Filename, posn.Line, rest)
+					}
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", posn.Filename, posn.Line, err)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", posn.Filename, posn.Line, err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+					rest = rest[len(lit):]
+				}
+			}
+		}
+	}
+	return wants
+}

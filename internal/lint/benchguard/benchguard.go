@@ -1,0 +1,165 @@
+// Package benchguard keeps allocation regressions visible: every
+// benchmark function must call b.ReportAllocs().
+//
+// The repository's perf story is pinned by zero-alloc invariants
+// (codec, merge-walk criteria); a benchmark that does not report
+// allocations cannot catch a regression against them, and CI's
+// bench-smoke job would run it without learning anything. A call
+// anywhere in the benchmark body counts, including inside b.Run
+// sub-benchmark closures and via package-local helpers that receive
+// the *testing.B (resolved transitively within the package).
+//
+// A benchmark that deliberately measures something other than a
+// steady-state hot path can opt out with //lint:benchguard-ok
+// <reason> in its doc comment or on the line above the declaration.
+package benchguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+const directiveName = "benchguard-ok"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "benchguard",
+	Doc: "benchmarks must call b.ReportAllocs() so alloc regressions are visible\n\n" +
+		"Reports Benchmark functions whose body never calls ReportAllocs on the\n" +
+		"*testing.B. Waive with //lint:benchguard-ok <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	reporters := reportingFuncs(pass)
+	for _, file := range pass.Files {
+		if !analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := directive.ForFile(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isBenchmark(pass, fd) {
+				continue
+			}
+			if callsReportAllocs(pass, fd.Body, reporters) {
+				continue
+			}
+			if d, ok := directive.InGroup(fd.Doc, directiveName); ok {
+				if d.Reason == "" {
+					pass.Reportf(fd.Name.Pos(), "//lint:%s requires a reason", directiveName)
+				}
+				continue
+			}
+			if d, ok := dirs.Find(fd.Pos(), directiveName); ok {
+				if d.Reason == "" {
+					pass.Reportf(fd.Name.Pos(), "//lint:%s requires a reason", directiveName)
+				}
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"benchmark %s never calls b.ReportAllocs(): allocation regressions on this path will go unnoticed (//lint:%s <reason> to waive)",
+				fd.Name.Name, directiveName)
+		}
+	}
+	return nil, nil
+}
+
+// isBenchmark reports whether fd is a top-level BenchmarkXxx function
+// taking a single *testing.B.
+func isBenchmark(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		return false
+	}
+	rest, ok := strings.CutPrefix(fd.Name.Name, "Benchmark")
+	if !ok {
+		return false
+	}
+	if rest != "" {
+		r, _ := utf8.DecodeRuneInString(rest)
+		if unicode.IsLower(r) {
+			return false // benchmarkHelper, not a benchmark
+		}
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(params.List[0].Type)
+	return t != nil && t.String() == "*testing.B"
+}
+
+// reportingFuncs computes, to a fixpoint, the package-local functions
+// whose bodies reach a ReportAllocs call — directly or through other
+// local helpers. Shared bench helpers (benchScorer-style) report on
+// behalf of every benchmark that calls them.
+func reportingFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd.Body
+			}
+		}
+	}
+	reporters := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for fn, body := range bodies {
+			if !reporters[fn] && callsReportAllocs(pass, body, reporters) {
+				reporters[fn] = true
+				changed = true
+			}
+		}
+	}
+	return reporters
+}
+
+// callsReportAllocs reports whether body contains, at any nesting
+// depth, a ReportAllocs call on a *testing.B receiver or a call to a
+// function already known to reach one.
+func callsReportAllocs(pass *analysis.Pass, body *ast.BlockStmt, reporters map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			callee = fun.Sel
+		case *ast.Ident:
+			callee = fun
+		default:
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[callee].(*types.Func)
+		if !ok {
+			return true
+		}
+		if reporters[fn] {
+			found = true
+			return false
+		}
+		if callee.Name == "ReportAllocs" {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && recv.Type().String() == "*testing.B" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package benchguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/benchguard"
+)
+
+func TestBenchguard(t *testing.T) {
+	analysistest.Run(t, "testdata", benchguard.Analyzer, "bench")
+}

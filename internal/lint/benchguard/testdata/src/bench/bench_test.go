@@ -1,0 +1,64 @@
+package bench
+
+import "testing"
+
+func BenchmarkMissing(b *testing.B) { // want `benchmark BenchmarkMissing never calls`
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkCovered(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkSubOnly(b *testing.B) {
+	b.Run("inner", func(b *testing.B) {
+		b.ReportAllocs()
+	})
+}
+
+// BenchmarkWaived measures one-shot setup wall clock.
+//
+//lint:benchguard-ok allocations are not the metric for one-shot setup
+func BenchmarkWaived(b *testing.B) {
+}
+
+//lint:benchguard-ok
+func BenchmarkBare(b *testing.B) { // want `//lint:benchguard-ok requires a reason`
+}
+
+func Benchmarkhelper(b *testing.B) { // lower-case continuation: not a benchmark
+}
+
+func reportingHelper(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+}
+
+func BenchmarkViaHelper(b *testing.B) { // helper reports on its behalf
+	reportingHelper(b)
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func silentHelper(b *testing.B) {
+	b.ResetTimer()
+}
+
+func BenchmarkSilentHelper(b *testing.B) { // want `benchmark BenchmarkSilentHelper never calls`
+	silentHelper(b)
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+type fake struct{}
+
+func (fake) ReportAllocs() {}
+
+func BenchmarkFake(b *testing.B) { // want `benchmark BenchmarkFake never calls`
+	fake{}.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+	}
+}

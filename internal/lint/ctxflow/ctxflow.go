@@ -1,0 +1,277 @@
+// Package ctxflow enforces the repository's context-threading
+// invariant: cancellation must flow from the caller.
+//
+// Library packages (anything that is not package main and not a test
+// file) must not mint their own root contexts. A call to
+// context.Background or context.TODO is reported unless it is the
+// classic documented ctx-less wrapper — the call appears directly as
+// an argument of a delegation to a *Context/*Ctx variant inside a
+// function that carries a doc comment — or the enclosing function is
+// documented as Deprecated.
+//
+// Separately, an exported function that loops over edges (a range
+// over a []...Edge... slice or over an Edges() call) is the kind of
+// O(m) work the pipeline promises to cancel between checkpoints, so
+// it must accept a context.Context.
+//
+// Waive a finding with //lint:ctxflow-ok <reason> on the offending
+// line, the line above it, or in the function's doc comment.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+const directiveName = "ctxflow-ok"
+
+// exempt lists import paths exempt from the edge-loop rule: figure
+// reproduction glue that runs over small fixed paper datasets, where
+// mid-loop cancellation buys nothing. Rule one (no minted root
+// contexts) still applies there.
+var exempt = strings.Join([]string{
+	"repro/internal/exp",
+	"repro/internal/world",
+	"repro/internal/occupations",
+}, ",")
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "library code must thread caller contexts, not mint context.Background()\n\n" +
+		"Reports context.Background()/context.TODO() in library packages outside\n" +
+		"documented ctx-less wrappers that delegate to a *Context/*Ctx variant, and\n" +
+		"exported functions that loop over edges without a context.Context parameter.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&exempt, "exempt", exempt,
+		"comma-separated import paths exempt from the edge-loop context rule")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // CLIs own their root context
+	}
+	loopExempt := exemptPkg(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		dirs := directive.ForFile(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRootContexts(pass, dirs, fd)
+			if !loopExempt {
+				checkEdgeLoops(pass, dirs, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// exemptPkg reports whether pkgPath (possibly a test variant such as
+// "repro/internal/exp [repro/internal/exp.test]") is exempt from the
+// edge-loop rule.
+func exemptPkg(pkgPath string) bool {
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	for _, p := range strings.Split(exempt, ",") {
+		if pkgPath == strings.TrimSpace(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRootContexts reports context.Background/TODO calls in fd that
+// are not the documented delegation pattern.
+func checkRootContexts(pass *analysis.Pass, dirs *directive.Map, fd *ast.FuncDecl) {
+	deprecated := fd.Doc != nil && strings.Contains(fd.Doc.Text(), "Deprecated:")
+	documented := fd.Doc != nil && strings.TrimSpace(fd.Doc.Text()) != ""
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := rootContextCall(pass, call); ok && !deprecated {
+				if !delegationArg(stack, call, documented) {
+					if !waived(pass, dirs, fd, call.Pos()) {
+						pass.Reportf(call.Pos(),
+							"context.%s() in library code: accept a ctx from the caller, or delegate it from a documented wrapper to a *Context/*Ctx variant (//lint:%s <reason> to waive)",
+							name, directiveName)
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// rootContextCall reports whether call is context.Background() or
+// context.TODO(), returning which.
+func rootContextCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// delegationArg reports whether call appears directly as an argument
+// of a call to a function whose name ends in Context or Ctx — the
+// documented ctx-less wrapper pattern — inside a documented function.
+func delegationArg(stack []ast.Node, call *ast.CallExpr, documented bool) bool {
+	if !documented || len(stack) == 0 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range parent.Args {
+		if arg == ast.Expr(call) {
+			name := calleeName(parent.Fun)
+			return strings.HasSuffix(name, "Context") || strings.HasSuffix(name, "Ctx")
+		}
+	}
+	return false
+}
+
+// checkEdgeLoops reports exported edge-iterating functions that take
+// no context.Context.
+func checkEdgeLoops(pass *analysis.Pass, dirs *directive.Map, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || unexportedReceiver(fd) {
+		return
+	}
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "Deprecated:") {
+		return
+	}
+	if hasContextParam(pass, fd) {
+		return
+	}
+	loop := edgeLoopPos(pass, fd.Body)
+	if !loop.IsValid() {
+		return
+	}
+	if waived(pass, dirs, fd, fd.Pos()) || waived(pass, dirs, fd, loop) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported %s loops over edges but has no context.Context parameter: O(m) work must be cancelable (//lint:%s <reason> to waive)",
+		fd.Name.Name, directiveName)
+}
+
+func unexportedReceiver(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := ast.Unparen(t).(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeLoopPos returns the position of the first edge loop in body:
+// a range over a slice whose element type mentions Edge, or a range
+// over the result of an Edges() call.
+func edgeLoopPos(pass *analysis.Pass, body *ast.BlockStmt) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := ast.Unparen(rs.X).(*ast.CallExpr); ok && calleeName(call.Fun) == "Edges" {
+			found = rs.For
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+			if sl, ok := t.Underlying().(*types.Slice); ok && typeNameContains(sl.Elem(), "Edge") {
+				found = rs.For
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func typeNameContains(t types.Type, substr string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && strings.Contains(named.Obj().Name(), substr)
+}
+
+func calleeName(fun ast.Expr) string {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func waived(pass *analysis.Pass, dirs *directive.Map, fd *ast.FuncDecl, pos token.Pos) bool {
+	d, ok := dirs.Find(pos, directiveName)
+	if !ok {
+		d, ok = directive.InGroup(fd.Doc, directiveName)
+	}
+	if !ok {
+		return false
+	}
+	if d.Reason == "" {
+		pass.Reportf(pos, "//lint:%s requires a reason", directiveName)
+	}
+	return true
+}

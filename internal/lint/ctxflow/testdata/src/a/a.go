@@ -1,0 +1,106 @@
+package a
+
+import "context"
+
+// Edge is a weighted arc, mirroring the repo's codec type.
+type Edge struct {
+	Src, Dst int32
+	Weight   float64
+}
+
+// Graph yields edges.
+type Graph struct{ edges []Edge }
+
+// Edges returns the edge list.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Process mints a root context instead of accepting one.
+func Process() {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	_ = ctx
+}
+
+func todo() {
+	_ = context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+// CountContext applies a counting pass over g's edges, honoring ctx.
+func CountContext(ctx context.Context, g *Graph) int {
+	n := 0
+	for range g.Edges() {
+		n++
+	}
+	return n
+}
+
+// Count is the documented ctx-less wrapper over CountContext.
+func Count(g *Graph) int {
+	return CountContext(context.Background(), g)
+}
+
+func count(g *Graph) int { // undocumented: delegation does not excuse it
+	return CountContext(context.Background(), g) // want `context\.Background\(\) in library code`
+}
+
+// Old counts g's edges.
+//
+// Deprecated: use CountContext.
+func Old(g *Graph) int {
+	return CountContext(context.Background(), g)
+}
+
+func waivedCall() {
+	//lint:ctxflow-ok fixture exercising the waiver path
+	_ = context.Background()
+}
+
+func bareWaiver() {
+	//lint:ctxflow-ok
+	_ = context.Background() // want `//lint:ctxflow-ok requires a reason`
+}
+
+// Sum adds weights without accepting a context.
+func Sum(edges []Edge) float64 { // want `exported Sum loops over edges`
+	var s float64
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// SumCtx is the cancelable variant.
+func SumCtx(ctx context.Context, edges []Edge) float64 {
+	var s float64
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+func sum(edges []Edge) float64 { // unexported: out of scope
+	var s float64
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// Walk ranges over an Edges() call.
+func Walk(g *Graph) int { // want `exported Walk loops over edges`
+	n := 0
+	for range g.Edges() {
+		n++
+	}
+	return n
+}
+
+// Fixed iterates a small fixed table.
+//
+//lint:ctxflow-ok fixture: bounded fixture data, cancellation buys nothing
+func Fixed(edges []Edge) int {
+	n := 0
+	for range edges {
+		n++
+	}
+	return n
+}

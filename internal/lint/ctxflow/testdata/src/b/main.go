@@ -1,0 +1,8 @@
+// Command b shows that package main may own its root context.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

@@ -1,0 +1,106 @@
+// Package detiter enforces the repository's determinism invariant:
+// code on the scoring, merge-walk and output-writing paths must not
+// iterate over maps.
+//
+// Go randomizes map iteration order, so a map range on those paths
+// makes scores (float accumulation order), backbones (tie-breaking)
+// or serialized output depend on the run. The canonical iteration
+// orders are the CSR adjacency order and sorted key slices.
+//
+// Reachability from the hot paths is approximated by a package
+// allowlist (the -scope flag): every package that hosts scorers,
+// merge-walks, graph transforms or writers is in scope, and every map
+// range there is reported. Order-insensitive iterations (building
+// another map, commutative integer reductions) are waived in place
+// with //lint:detiter-ok <reason> — the reason is mandatory so each
+// waiver documents why the order cannot leak into results.
+package detiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+const directiveName = "detiter-ok"
+
+// scope lists the import paths whose functions are (conservatively)
+// reachable from scoring, merge-walk or output-writing entry points.
+var scope = strings.Join([]string{
+	"repro",
+	"repro/internal/backbone",
+	"repro/internal/community",
+	"repro/internal/core",
+	"repro/internal/eval",
+	"repro/internal/filter",
+	"repro/internal/graph",
+	"repro/internal/multilayer",
+	"repro/internal/stats",
+}, ",")
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detiter",
+	Doc: "no map iteration on scoring, merge-walk or output-writing paths\n\n" +
+		"Map range order is randomized per run; determinism-sensitive packages must\n" +
+		"iterate CSR order or sorted keys. Waive order-insensitive loops with\n" +
+		"//lint:detiter-ok <reason>.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", scope,
+		"comma-separated import paths treated as determinism-sensitive")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue // tests may observe maps; they are not on served paths
+		}
+		dirs := directive.ForFile(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, ok := dirs.Find(rs.For, directiveName); ok {
+				if d.Reason == "" {
+					pass.Reportf(rs.For, "//lint:%s requires a reason", directiveName)
+				}
+				return true
+			}
+			pass.Reportf(rs.For,
+				"iteration over map %s in a determinism-sensitive package: iterate CSR order or sorted keys (//lint:%s <reason> to waive)",
+				t.String(), directiveName)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// inScope reports whether pkgPath (possibly a test variant such as
+// "repro [repro.test]") is one of the scoped import paths.
+func inScope(pkgPath string) bool {
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	for _, p := range strings.Split(scope, ",") {
+		if pkgPath == strings.TrimSpace(p) {
+			return true
+		}
+	}
+	return false
+}

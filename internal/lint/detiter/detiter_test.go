@@ -1,0 +1,15 @@
+package detiter_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detiter"
+)
+
+func TestDetiter(t *testing.T) {
+	if err := detiter.Analyzer.Flags.Set("scope", "a"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, "testdata", detiter.Analyzer, "a", "b")
+}

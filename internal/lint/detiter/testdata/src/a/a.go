@@ -1,0 +1,45 @@
+package a
+
+func fold(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `iteration over map`
+		s += v
+	}
+	return s
+}
+
+func keys(m map[string]float64) {
+	for k := range m { // want `iteration over map`
+		_ = k
+	}
+}
+
+type table map[int]int // named type with map underlying
+
+func named(t table) {
+	for range t { // want `iteration over map`
+	}
+}
+
+func waived(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//lint:detiter-ok copying into another map; destination order is irrelevant
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func bare(m map[string]int) {
+	//lint:detiter-ok
+	for range m { // want `//lint:detiter-ok requires a reason`
+	}
+}
+
+func slices(xs []int) int {
+	n := 0
+	for _, x := range xs { // slices iterate in index order: fine
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,11 @@
+// Package b is outside the -scope allowlist: map ranges here are not
+// on a determinism-sensitive path and must not be reported.
+package b
+
+func fold(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

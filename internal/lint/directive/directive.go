@@ -1,0 +1,91 @@
+// Package directive parses the //lint:<check>-ok escape-hatch comments
+// honored by every backbonevet analyzer.
+//
+// The form is a line comment
+//
+//	//lint:<check>-ok <reason>
+//
+// placed on the offending line, on the line immediately above it, or —
+// for function-granularity checks — anywhere in the function's doc
+// comment. The reason is mandatory: a bare directive is itself a
+// finding, so waivers stay auditable. Multiple directives may share a
+// comment line only by stacking separate comments.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //lint: comment.
+type Directive struct {
+	Name   string    // e.g. "detiter-ok"
+	Reason string    // text after the name; "" when missing
+	Pos    token.Pos // position of the comment
+}
+
+// A Map indexes one file's //lint: directives by line number.
+type Map struct {
+	fset   *token.FileSet
+	byLine map[int][]Directive
+}
+
+// ForFile scans every comment in file and indexes its directives.
+func ForFile(fset *token.FileSet, file *ast.File) *Map {
+	m := &Map{fset: fset, byLine: make(map[int][]Directive)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if d, ok := parse(c); ok {
+				line := fset.Position(c.Pos()).Line
+				m.byLine[line] = append(m.byLine[line], d)
+			}
+		}
+	}
+	return m
+}
+
+// Find returns the directive named name that covers pos: one on the
+// same line or on the line immediately above.
+func (m *Map) Find(pos token.Pos, name string) (Directive, bool) {
+	line := m.fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range m.byLine[l] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// InGroup returns the directive named name appearing anywhere in the
+// comment group (typically a function's doc comment). A nil group is
+// allowed and never matches.
+func InGroup(cg *ast.CommentGroup, name string) (Directive, bool) {
+	if cg == nil {
+		return Directive{}, false
+	}
+	for _, c := range cg.List {
+		if d, ok := parse(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+func parse(c *ast.Comment) (Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok { // block comments are not directives
+		return Directive{}, false
+	}
+	body, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:")
+	if !ok {
+		return Directive{}, false
+	}
+	name, reason, _ := strings.Cut(body, " ")
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}

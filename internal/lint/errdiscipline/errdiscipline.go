@@ -1,0 +1,215 @@
+// Package errdiscipline enforces the repository's typed-error
+// discipline, established when scoring and I/O grew wrap-friendly
+// sentinel errors:
+//
+//   - sentinel errors (package-level error variables, including
+//     stdlib ones such as io.EOF) must be matched with errors.Is,
+//     not compared with == or != or switched over, because every
+//     layer above the scorers wraps with %w; and
+//   - fmt.Errorf calls that carry a sentinel must wrap it with %w —
+//     formatting it with %v/%s flattens it to text and breaks
+//     errors.Is for every caller downstream.
+//
+// Comparisons against nil are fine and not reported. Waive a finding
+// with //lint:errdiscipline-ok <reason> (for example, an io.Reader
+// hot loop where the Read contract hands back io.EOF by identity).
+package errdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+const directiveName = "errdiscipline-ok"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc: "sentinel errors must flow through errors.Is and wrap with %w\n\n" +
+		"Reports ==/!=/switch comparisons against package-level error variables and\n" +
+		"fmt.Errorf calls that format a sentinel with a verb other than %w. Waive\n" +
+		"with //lint:errdiscipline-ok <reason>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		dirs := directive.ForFile(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, dirs, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, dirs, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkComparison(pass *analysis.Pass, dirs *directive.Map, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	name, ok := sentinelName(pass, be.X)
+	if !ok {
+		name, ok = sentinelName(pass, be.Y)
+	}
+	if !ok || waived(pass, dirs, be.Pos()) {
+		return
+	}
+	verb := "errors.Is"
+	if be.Op == token.NEQ {
+		verb = "!errors.Is"
+	}
+	pass.Reportf(be.Pos(),
+		"sentinel %s compared with %s: use %s(err, %s) so wrapped errors still match (//lint:%s <reason> to waive)",
+		name, be.Op, verb, name, directiveName)
+}
+
+func checkSwitch(pass *analysis.Pass, dirs *directive.Map, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if name, ok := sentinelName(pass, expr); ok && !waived(pass, dirs, expr.Pos()) {
+				pass.Reportf(expr.Pos(),
+					"switch case compares sentinel %s by identity: use if/else with errors.Is (//lint:%s <reason> to waive)",
+					name, directiveName)
+			}
+		}
+	}
+}
+
+// checkErrorf reports fmt.Errorf calls whose argument list contains a
+// sentinel error formatted with a verb other than %w.
+func checkErrorf(pass *analysis.Pass, dirs *directive.Map, call *ast.CallExpr) {
+	if !isFmtErrorf(pass, call) || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // indexed arguments etc.: leave to vet's printf checker
+	}
+	for i, verb := range verbs {
+		argIndex := 1 + i
+		if argIndex >= len(call.Args) {
+			break
+		}
+		if verb == 'w' {
+			continue
+		}
+		if name, ok := sentinelName(pass, call.Args[argIndex]); ok && !waived(pass, dirs, call.Args[argIndex].Pos()) {
+			pass.Reportf(call.Args[argIndex].Pos(),
+				"fmt.Errorf formats sentinel %s with %%%c: wrap with %%w so errors.Is sees it (//lint:%s <reason> to waive)",
+				name, verb, directiveName)
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument of a Printf-style format. Width/precision stars consume an
+// argument and are returned as '*'. ok is false for explicit argument
+// indexes, which this simple scanner does not model.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // skip '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.0123456789", rune(c)) {
+				i++
+				continue
+			}
+			verbs = append(verbs, rune(c))
+			i++
+			break
+		}
+	}
+	return verbs, true
+}
+
+func isFmtErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf"
+}
+
+// sentinelName reports whether expr denotes a package-level variable
+// of error type — the repo's (and stdlib's) sentinel form — and
+// returns its name as written.
+func sentinelName(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return id.Name, true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func waived(pass *analysis.Pass, dirs *directive.Map, pos token.Pos) bool {
+	d, ok := dirs.Find(pos, directiveName)
+	if !ok {
+		return false
+	}
+	if d.Reason == "" {
+		pass.Reportf(pos, "//lint:%s requires a reason", directiveName)
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errdiscipline"
+)
+
+func TestErrdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", errdiscipline.Analyzer, "a")
+}

@@ -1,0 +1,56 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBad = errors.New("bad")
+
+func compare(err error) {
+	if err == ErrBad { // want `sentinel ErrBad compared with ==`
+		return
+	}
+	if err != io.EOF { // want `sentinel EOF compared with !=`
+		return
+	}
+	if err == nil { // nil comparison: fine
+		return
+	}
+	if errors.Is(err, ErrBad) { // the blessed form
+		return
+	}
+	//lint:errdiscipline-ok the reader contract hands back io.EOF by identity
+	if err == io.EOF {
+		return
+	}
+}
+
+func bareWaiver(err error) {
+	//lint:errdiscipline-ok
+	if err == ErrBad { // want `//lint:errdiscipline-ok requires a reason`
+		return
+	}
+}
+
+func switches(err error) int {
+	switch err {
+	case ErrBad: // want `switch case compares sentinel ErrBad`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func wrap(err error, n int) error {
+	if err != nil {
+		return fmt.Errorf("ctx: %w", err) // local variable, not a sentinel
+	}
+	return fmt.Errorf("n=%d: %v", n, ErrBad) // want `formats sentinel ErrBad with %v`
+}
+
+func wrapOK() error {
+	return fmt.Errorf("op failed: %w", ErrBad)
+}

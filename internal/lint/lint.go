@@ -1,0 +1,34 @@
+// Package lint assembles backbonevet, the repository's static-analysis
+// suite. Each analyzer machine-enforces an invariant the codebase
+// relies on for correctness at scale:
+//
+//	ctxflow        cancellation flows from the caller; no minted root contexts
+//	detiter        no map iteration on scoring/merge-walk/output paths
+//	unsafezone     unsafe confined to the codec allowlist, every use justified
+//	errdiscipline  sentinels via errors.Is, wrapping via %w
+//	benchguard     benchmarks call b.ReportAllocs()
+//
+// The suite runs as `go vet -vettool=<backbonevet binary> ./...` and
+// gates CI; see the README's "Static analysis" section for the
+// escape-hatch comment forms.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/benchguard"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/detiter"
+	"repro/internal/lint/errdiscipline"
+	"repro/internal/lint/unsafezone"
+)
+
+// Suite returns the backbonevet analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detiter.Analyzer,
+		unsafezone.Analyzer,
+		errdiscipline.Analyzer,
+		benchguard.Analyzer,
+	}
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func TestSuiteValid(t *testing.T) {
+	suite := lint.Suite()
+	if len(suite) != 5 {
+		t.Fatalf("Suite() returned %d analyzers, want 5", len(suite))
+	}
+	if err := analysis.Validate(suite); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range suite {
+		if a.Doc == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+	}
+}

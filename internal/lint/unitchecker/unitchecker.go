@@ -1,0 +1,329 @@
+// Package unitchecker implements the command-line protocol required of
+// a `go vet -vettool=` binary, against this module's dependency-free
+// analysis framework.
+//
+// The protocol (shared with x/tools' unitchecker, from which the
+// Config schema is taken) is:
+//
+//	backbonevet -V=full      describe the executable for build caching
+//	backbonevet -flags       describe supported flags in JSON
+//	backbonevet unit.cfg     analyze one compilation unit
+//
+// The build system writes unit.cfg — a JSON description of one
+// package: its files, the resolved import map, and the compiler-
+// produced export-data files for every dependency. Typechecking
+// therefore needs no go/packages-style loader: the importer simply
+// reads the export file the go command already built.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// A Config describes the compilation unit to be analyzed, decoded from
+// the JSON .cfg file the go command hands the vettool. The field set
+// and semantics follow the go command's vet protocol.
+type Config struct {
+	ID                        string            // e.g. "repro [repro.test]"
+	Compiler                  string            // gc or gccgo
+	Dir                       string            // package directory
+	ImportPath                string            // package path
+	GoVersion                 string            // minimum required Go version
+	GoFiles                   []string          // absolute paths of Go files
+	NonGoFiles                []string          // absolute paths of non-Go files
+	IgnoredFiles              []string          // build-constrained-away files
+	ModulePath                string            // module path
+	ModuleVersion             string            // module version
+	ImportMap                 map[string]string // import path → package path
+	PackageFile               map[string]string // package path → export-data file
+	Standard                  map[string]bool   // package path → in standard library
+	PackageVetx               map[string]string // package path → fact file (unused: no facts)
+	VetxOnly                  bool              // only facts are wanted; suppress diagnostics
+	VetxOutput                string            // where to write the fact file
+	SucceedOnTypecheckFailure bool              // compiler will report the errors; exit 0
+}
+
+// Main runs the vettool protocol over the given analyzers and exits.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s statically enforces this repository's correctness invariants.
+
+It is a go vet tool; invoke it through the go command:
+
+	go build -o %[1]s ./cmd/backbonevet
+	go vet -vettool=$PWD/%[1]s ./...
+
+Analyzers:
+`, progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.Index(doc, "\n"); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+		}
+		os.Exit(1)
+	}
+
+	// Protocol flags, then one enable flag and prefixed analyzer flags
+	// per analyzer, exactly as go vet's -flags handshake expects.
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	_ = flag.Int("c", -1, "display offending line with this many lines of context (accepted, unused)")
+	enabled := make(map[*analysis.Analyzer]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a] = flag.Bool(a.Name, false, "enable only "+a.Name+" analysis")
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// If any -<name> flag was set, run only those analyzers.
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a] {
+			selected = append(selected, a)
+		}
+	}
+	if selected == nil {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+	}
+	run(args[0], selected, *jsonOut)
+}
+
+func run(configFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The suite defines no facts, so the fact file for dependents is
+	// always empty — but it must exist for the go command's caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A VetxOnly run (a dependency analyzed only for facts) needs
+	// nothing further: skip parsing and typechecking entirely.
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	unit, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0) // the compiler will report these errors itself
+		}
+		log.Fatal(err)
+	}
+
+	results := analysis.RunUnit(unit, analyzers)
+
+	if jsonOut {
+		// JSON tree: package ID → analyzer name → diagnostics/error,
+		// the schema go vet -json re-emits.
+		type jsonDiagnostic struct {
+			Category string `json:"category,omitempty"`
+			Posn     string `json:"posn"`
+			Message  string `json:"message"`
+		}
+		tree := make(map[string]map[string]any)
+		for _, res := range results {
+			var v any
+			if res.Err != nil {
+				v = struct {
+					Err string `json:"error"`
+				}{res.Err.Error()}
+			} else if len(res.Diagnostics) > 0 {
+				diags := make([]jsonDiagnostic, len(res.Diagnostics))
+				for i, d := range res.Diagnostics {
+					diags[i] = jsonDiagnostic{
+						Category: d.Category,
+						Posn:     fset.Position(d.Pos).String(),
+						Message:  d.Message,
+					}
+				}
+				v = diags
+			}
+			if v != nil {
+				m := tree[cfg.ID]
+				if m == nil {
+					m = make(map[string]any)
+					tree[cfg.ID] = m
+				}
+				m[res.Analyzer.Name] = v
+			}
+		}
+		data, err := json.MarshalIndent(tree, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", data)
+		os.Exit(0)
+	}
+
+	exit := 0
+	for _, res := range results {
+		if res.Err != nil {
+			log.Println(res.Err)
+			exit = 1
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func typecheck(fset *token.FileSet, cfg *Config) (*analysis.Unit, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Unit{
+		Fset:       fset,
+		Files:      files,
+		OtherFiles: cfg.NonGoFiles,
+		Pkg:        pkg,
+		Info:       info,
+		Sizes:      tc.Sizes,
+	}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full protocol: print a line containing
+// the executable path and a content hash, so the go command can cache
+// vet results keyed on the tool build.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

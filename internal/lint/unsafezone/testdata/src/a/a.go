@@ -1,0 +1,17 @@
+package a
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+func cast(b []byte) string {
+	return *(*string)(unsafe.Pointer(&b)) // want `use of unsafe outside the allowlisted codec files`
+}
+
+var _ = reflect.SliceHeader{} // want `use of unsafe outside the allowlisted codec files`
+
+func waiverDoesNotApply(b []byte) string {
+	//lint:unsafezone-ok the escape hatch must not work outside the allowlist
+	return *(*string)(unsafe.Pointer(&b)) // want `use of unsafe outside the allowlisted codec files`
+}

@@ -1,0 +1,19 @@
+// Package b stands in for the allowlisted codec file set (the test
+// runs the analyzer with -allow=b/codec.go).
+package b
+
+import "unsafe"
+
+func justified(b []byte) string {
+	//lint:unsafezone-ok fixture: b is never mutated after the cast
+	return *(*string)(unsafe.Pointer(&b))
+}
+
+func missing(b []byte) string {
+	return *(*string)(unsafe.Pointer(&b)) // want `unsafe use without justification`
+}
+
+func bare(b []byte) uintptr {
+	//lint:unsafezone-ok
+	return uintptr(unsafe.Pointer(&b[0])) // want `//lint:unsafezone-ok requires a justification`
+}

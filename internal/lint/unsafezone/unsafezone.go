@@ -1,0 +1,143 @@
+// Package unsafezone confines package unsafe (and the equivalent
+// reflect.SliceHeader/StringHeader tricks) to an allowlisted file set
+// and requires an in-place justification at every use.
+//
+// The repository's policy is that unsafe exists for exactly one
+// purpose — the zero-alloc edge-list codec's byte↔string bridging —
+// so the allowlist is internal/graph/codec.go and internal/graph/io.go
+// (the -allow flag). Outside those files any use of unsafe is
+// reported, and the escape-hatch comment deliberately does NOT apply:
+// extending the unsafe surface means editing the allowlist in
+// internal/lint/unsafezone, which is what code review gates on.
+//
+// Inside an allowlisted file, every line that touches unsafe must
+// carry //lint:unsafezone-ok <justification> (same line or the line
+// above) stating why the construct cannot violate memory safety.
+package unsafezone
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+const directiveName = "unsafezone-ok"
+
+// allow lists the repo-relative files permitted to use unsafe.
+var allow = "internal/graph/codec.go,internal/graph/io.go"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafezone",
+	Doc: "unsafe is confined to the codec allowlist and every use must be justified\n\n" +
+		"Reports package unsafe and reflect.SliceHeader/StringHeader outside\n" +
+		"internal/graph/{codec,io}.go; inside the allowlist each use needs a\n" +
+		"//lint:unsafezone-ok <justification> comment.",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&allow, "allow", allow,
+		"comma-separated repo-relative files permitted to use unsafe")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		checkFile(pass, file)
+	}
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	fname := filepath.ToSlash(pass.Fset.Position(file.Pos()).Filename)
+	allowed := false
+	for _, entry := range strings.Split(allow, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry != "" && (fname == entry || strings.HasSuffix(fname, "/"+entry)) {
+			allowed = true
+			break
+		}
+	}
+
+	// Collect one representative position per line that uses unsafe:
+	// a selector rooted at the unsafe package, or a reflect header
+	// struct. The import line itself is not a "site".
+	sites := make(map[int]token.Pos)
+	ast.Inspect(file, func(n ast.Node) bool {
+		pos := token.NoPos
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "unsafe":
+						pos = sel.Pos()
+					case "reflect":
+						if name := sel.Sel.Name; name == "SliceHeader" || name == "StringHeader" {
+							pos = sel.Pos()
+						}
+					}
+				}
+			}
+		}
+		if pos.IsValid() {
+			line := pass.Fset.Position(pos).Line
+			if _, seen := sites[line]; !seen {
+				sites[line] = pos
+			}
+		}
+		return true
+	})
+
+	importsUnsafe := false
+	var importPos token.Pos
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"unsafe"` {
+			importsUnsafe = true
+			importPos = imp.Pos()
+		}
+	}
+
+	if !allowed {
+		if len(sites) == 0 && importsUnsafe {
+			// e.g. import _ "unsafe" for go:linkname: still a policy breach.
+			pass.Reportf(importPos,
+				"import of unsafe outside the allowlisted codec files (%s): extend the allowlist in internal/lint/unsafezone only with review", allow)
+		}
+		for _, pos := range sortedSitePositions(pass.Fset, sites) {
+			pass.Reportf(pos,
+				"use of unsafe outside the allowlisted codec files (%s): move the construct into the codec or extend the allowlist in internal/lint/unsafezone", allow)
+		}
+		return
+	}
+
+	dirs := directive.ForFile(pass.Fset, file)
+	for _, pos := range sortedSitePositions(pass.Fset, sites) {
+		d, ok := dirs.Find(pos, directiveName)
+		if !ok {
+			pass.Reportf(pos,
+				"unsafe use without justification: annotate the line with //lint:%s <why this cannot violate memory safety>", directiveName)
+			continue
+		}
+		if d.Reason == "" {
+			pass.Reportf(pos, "//lint:%s requires a justification", directiveName)
+		}
+	}
+}
+
+func sortedSitePositions(fset *token.FileSet, sites map[int]token.Pos) []token.Pos {
+	out := make([]token.Pos, 0, len(sites))
+	for _, pos := range sites {
+		out = append(out, pos)
+	}
+	// token.Pos order within one file follows source order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package unsafezone_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/unsafezone"
+)
+
+func TestUnsafezone(t *testing.T) {
+	if err := unsafezone.Analyzer.Flags.Set("allow", "b/codec.go"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, "testdata", unsafezone.Analyzer, "a", "b")
+}

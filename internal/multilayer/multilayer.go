@@ -75,6 +75,8 @@ func (m *Multilayer) LayerByName(name string) (*graph.Graph, error) {
 // CoupledScores computes NC significance tables for every layer with
 // inter-layer coupling strength rho in [0, 1]. rho = 0 reproduces the
 // single-layer NC scores exactly.
+//
+//lint:ctxflow-ok layer-count-bounded scoring fan-out; the pipeline entry points own cancellation
 func (m *Multilayer) CoupledScores(rho float64) ([]*filter.Scores, error) {
 	if len(m.layers) == 0 {
 		return nil, fmt.Errorf("multilayer: no layers")

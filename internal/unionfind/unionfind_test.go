@@ -131,6 +131,7 @@ func BenchmarkUnionFind(b *testing.B) {
 	for i := range xs {
 		xs[i], ys[i] = rng.Intn(n), rng.Intn(n)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		uf := New(n)

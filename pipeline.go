@@ -226,6 +226,7 @@ func resolve(opts []Option) (*config, *Method, error) {
 	}
 	if c.lenient {
 		kept := filter.Params{}
+		//lint:detiter-ok filtering into another map; the kept set is order-independent
 		for name, v := range c.params {
 			if _, ok := m.Param(name); ok {
 				kept[name] = v
@@ -403,7 +404,8 @@ func BackboneAllContext(ctx context.Context, g *Graph, methods []string, opts ..
 	if probe.err != nil {
 		return nil, probe.err
 	}
-	for name := range probe.params {
+	// Sorted order pins which undeclared parameter the error names.
+	for _, name := range probe.params.Names() {
 		declared := false
 		for _, m := range selected {
 			if _, ok := m.Param(name); ok {
