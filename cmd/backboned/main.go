@@ -5,13 +5,16 @@
 //
 //	backboned [-addr :8080] [-workers N] [-timeout 60s] [-max-body 256MiB]
 //	          [-graph-cache-mb 256] [-score-cache-mb 128] [-pprof addr]
+//	          [-peers host:port,... -self host:port] [-peer-timeout 10s]
+//	          [-chaos spec]
 //
 // Endpoints:
 //
 //	GET  /methods    registered methods and parameter schemas as JSON
 //	GET  /formats    registered edge-list formats as JSON
-//	GET  /healthz    liveness probe
-//	GET  /statsz     uptime, request, cache and evaluate counters as JSON
+//	GET  /healthz    liveness probe (200 until the process exits)
+//	GET  /readyz     routability probe (503 once SIGTERM drain begins)
+//	GET  /statsz     uptime, request, cache, evaluate and fleet counters as JSON
 //	POST /backbone   extract a backbone from the request body's edge list
 //	POST /score      per-edge significance table for the body's edge list
 //	POST /evaluate   grade every method on the body's edge list (JSON report)
@@ -46,6 +49,21 @@
 // calls), re-evaluating it returns the full multi-method report
 // without scoring a single edge. -pprof starts net/http/pprof on a
 // side listener for production profiling.
+//
+// Fleet mode (-peers with -self) shards the content-addressed caches
+// across N daemons: each request body is routed to its owning peer by
+// rendezvous hash of the body's sha256 digest, so every re-post of a
+// network lands on the peer whose caches already hold it. Forwards
+// carry per-attempt timeouts (-peer-timeout), capped-exponential-
+// backoff retries with full jitter, and per-peer circuit breakers;
+// when the owner cannot answer, the receiving peer computes the result
+// itself and stamps X-Backbone-Degraded — peer loss costs cache
+// locality, never correctness. Every peer runs the same flags with the
+// same -peers list (order irrelevant) and its own -self.
+//
+// -chaos injects faults into the local serving path for resilience
+// testing: "error=0.2,latency=50ms,latency-rate=0.5,partial=0.1"
+// injects errors, latency and truncated responses at those rates.
 package main
 
 import (
@@ -59,8 +77,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/resilient"
 )
 
 func main() {
@@ -73,16 +95,45 @@ func main() {
 		graphCache = flag.Int64("graph-cache-mb", 256, "parsed-graph cache budget in MiB (0 disables)")
 		scoreCache = flag.Int64("score-cache-mb", 128, "score-table cache budget in MiB (0 disables)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (empty disables)")
+		peersFlag  = flag.String("peers", "", "comma-separated fleet membership (host:port,...); empty = single-node")
+		selfAddr   = flag.String("self", "", "this daemon's advertised address within -peers")
+		peerTO     = flag.Duration("peer-timeout", 10*time.Second, "per-attempt timeout for peer forwards")
+		chaosSpec  = flag.String("chaos", "", `fault injection spec, e.g. "error=0.2,latency=50ms,partial=0.1" (dev/testing)`)
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "backboned: ", log.LstdFlags)
+
+	var fl *fleet.Fleet
+	if *peersFlag != "" || *selfAddr != "" {
+		var err error
+		fl, err = fleet.New(fleet.Config{
+			Self:           *selfAddr,
+			Peers:          strings.Split(*peersFlag, ","),
+			AttemptTimeout: *peerTO,
+			Logf:           logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("fleet: %v (need -self and a -peers list)", err)
+		}
+		logger.Printf("fleet mode: self=%s members=%v", fl.Self(), fl.Members())
+	}
+	fault, err := resilient.ParseFaultSpec(*chaosSpec)
+	if err != nil {
+		logger.Fatalf("-chaos: %v", err)
+	}
+	if fault != nil {
+		logger.Printf("CHAOS MODE: injecting faults (%s) — not for production", *chaosSpec)
+	}
+
 	s := newServer(serverConfig{
 		workers:         *workers,
 		timeout:         *timeout,
 		maxBody:         *maxBody,
 		graphCacheBytes: *graphCache << 20,
 		scoreCacheBytes: *scoreCache << 20,
+		fleet:           fl,
+		fault:           fault,
 		logf:            logger.Printf,
 	})
 	if *pprofAddr != "" {
@@ -115,6 +166,9 @@ func main() {
 		logger.Fatalf("listen: %v", err)
 	case <-ctx.Done():
 		stop()
+		// Flip /readyz to 503 first so load balancers and fleet peers
+		// stop routing here while in-flight requests drain.
+		s.beginDrain()
 		logger.Printf("shutting down, draining for up to %v", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

@@ -19,7 +19,9 @@ import (
 	"repro"
 	"repro/internal/cache"
 	"repro/internal/filter"
+	"repro/internal/fleet"
 	"repro/internal/graph"
+	"repro/internal/resilient"
 )
 
 // statusClientClosedRequest is the nginx-convention status logged when
@@ -53,7 +55,15 @@ type serverConfig struct {
 	// caches; 0 disables one.
 	graphCacheBytes int64
 	scoreCacheBytes int64
-	logf            func(format string, args ...any)
+	// fleet, when non-nil, routes each scoring request body to its
+	// owning peer by content digest and falls back to local execution
+	// when that peer cannot answer.
+	fleet *fleet.Fleet
+	// fault, when non-nil, chaos-injects errors/latency/truncation
+	// into the local serving path (-chaos and the fault-injection
+	// tests).
+	fault *resilient.Fault
+	logf  func(format string, args ...any)
 }
 
 // server is the backboned HTTP front end: a mux over the method
@@ -79,6 +89,13 @@ type server struct {
 	// content-addressed score cache (one per cached table).
 	evalRequests   atomic.Uint64
 	evalCacheSkips atomic.Uint64
+	// fleet is nil in single-node mode. fault is nil without -chaos.
+	fleet *fleet.Fleet
+	fault *resilient.Fault
+	// draining flips when graceful shutdown begins: /readyz turns 503
+	// so load balancers and peers stop routing here, while /healthz
+	// stays 200 (the process is alive, just leaving).
+	draining atomic.Bool
 	// onError observes every request failure after status mapping; a
 	// test hook, nil outside tests.
 	onError func(status int, err error)
@@ -99,10 +116,13 @@ func newServer(cfg serverConfig) *server {
 		logf:    cfg.logf,
 		graphs:  cache.New[graphKey, *repro.Graph](cfg.graphCacheBytes),
 		scores:  cache.New[scoreKey, *repro.Scores](cfg.scoreCacheBytes),
+		fleet:   cfg.fleet,
+		fault:   cfg.fault,
 		start:   time.Now(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/methods", s.handleMethods)
 	s.mux.HandleFunc("/formats", s.handleFormats)
@@ -178,8 +198,9 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 GET  /methods            registered methods and their parameter schemas (JSON)
 GET  /formats            registered edge-list formats (JSON)
-GET  /healthz            liveness probe
-GET  /statsz             uptime, request, cache and evaluate counters (JSON)
+GET  /healthz            liveness probe (200 until the process exits)
+GET  /readyz             routability probe (503 once SIGTERM drain begins)
+GET  /statsz             uptime, request, cache, evaluate and fleet counters (JSON)
 POST /backbone           extract a backbone from the edge list in the body
 POST /score              per-edge significance table for the body's edge list
 POST /evaluate           grade every method on the body's edge list (JSON report)
@@ -201,6 +222,12 @@ the same body with different method parameters (delta, alpha, top, ...)
 is always a hit: parameters move thresholds, never the score table.
 /evaluate reports "hit" when every method's table was cached — the
 whole comparison ran without scoring a single edge.
+
+In fleet mode (-peers/-self) each request body is routed to its owning
+peer by content digest; responses carry X-Backbone-Served-By (the peer
+that computed the answer) and, when the owner was unreachable and this
+peer computed the result itself, X-Backbone-Degraded with the reason
+(peer-unavailable | breaker-open).
 `)
 }
 
@@ -208,6 +235,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }
+
+// handleReadyz is the routability probe: 200 while the daemon accepts
+// new work, 503 the moment SIGTERM drain begins — so a load balancer
+// or fleet peer stops sending traffic to a process that is on its way
+// out, while /healthz keeps answering 200 (alive, not ready).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// beginDrain flips /readyz to 503. Called once when graceful shutdown
+// starts, before in-flight requests are drained.
+func (s *server) beginDrain() { s.draining.Store(true) }
 
 // paramJSON / methodJSON are the wire form of the registry schema.
 type paramJSON struct {
@@ -558,12 +604,14 @@ func (s *server) cachedScores(ctx context.Context, gkey graphKey, g *repro.Graph
 	})
 }
 
-// admit runs the shared request front door of the scoring endpoints:
-// apply the per-request timeout, read (and bound) the body, and wait
-// for a worker-pool slot. On failure it has already written the error
-// response and returns ok == false; on success the caller must invoke
-// release when done with the slot and cancel with the request.
-func (s *server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, body []byte, release func(), ok bool) {
+// intake is the first half of the scoring endpoints' front door: apply
+// the per-request timeout and read (and bound) the body. On failure it
+// has already written the error response and returns ok == false; on
+// success the caller must cancel with the request. The body is read
+// before worker-pool admission — it is I/O-bound, and draining it lets
+// the connection's background read detect a vanished client while the
+// request queues for a slot.
+func (s *server) intake(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, body []byte, ok bool) {
 	ctx, cancel = r.Context(), func() {}
 	if s.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -574,33 +622,154 @@ func (s *server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
-			return nil, nil, nil, nil, false
+			return nil, nil, nil, false
 		}
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("read body: %v", err))
-		return nil, nil, nil, nil, false
+		return nil, nil, nil, false
 	}
-	// Bounded worker pool: a saturated pool makes callers queue until a
-	// slot frees or their request context gives up.
+	return ctx, cancel, body, true
+}
+
+// acquire is the second half: wait for a bounded worker-pool slot. A
+// saturated pool makes callers queue until a slot frees or their
+// context gives up, at which point the 503 carries a Retry-After so
+// well-behaved clients (and the fleet's own retry loop) back off
+// instead of hammering. On ok the caller MUST schedule release with
+// defer immediately — a panicking handler must still return its slot,
+// or the pool shrinks by one forever (regression-pinned by
+// TestPanickingHandlerReleasesSlot).
+func (s *server) acquire(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
 	select {
 	case s.sem <- struct{}{}:
-		return ctx, cancel, body, func() { <-s.sem }, true
+		return func() { <-s.sem }, true
 	case <-ctx.Done():
-		defer cancel()
+		w.Header().Set("Retry-After", "1")
 		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("worker pool saturated: %v", ctx.Err()))
-		return nil, nil, nil, nil, false
+		return nil, false
 	}
 }
 
+// servedByHeader names the peer whose worker pool computed (or cached)
+// the response; degradedHeader appears only when the body's owning
+// peer could not answer and the receiving peer computed the result
+// itself — correctness kept, cache locality lost.
+const (
+	servedByHeader = "X-Backbone-Served-By"
+	degradedHeader = "X-Backbone-Degraded"
+)
+
+// routed applies the fleet routing policy to one scoring request. It
+// returns true when the response has been fully written (the owning
+// peer answered and was relayed, or routing failed terminally); false
+// means the caller should execute locally — either because this peer
+// owns the body, the request already made its one forwarding hop, or
+// the owner is unavailable and the fleet degrades to local execution.
+func (s *server) routed(ctx context.Context, w http.ResponseWriter, r *http.Request, body []byte) (handled bool) {
+	if s.fleet == nil {
+		return false
+	}
+	if r.Header.Get(fleet.ForwardedHeader) != "" {
+		// Terminal hop: a peer already routed this request here; serve
+		// it locally whatever our own ring says, so divergent
+		// membership views cannot ping-pong a request.
+		w.Header().Set(servedByHeader, s.fleet.Self())
+		return false
+	}
+	d := fleet.Digest(sha256.Sum256(body))
+	addr := s.fleet.Owner(d)
+	if addr == s.fleet.Self() {
+		w.Header().Set(servedByHeader, addr)
+		return false
+	}
+	resp, err := s.fleet.Forward(ctx, addr, d, r.URL.Path, r.URL.RawQuery,
+		r.Header.Get("Content-Type"), r.Header.Get("Accept"), body)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The request itself is out of budget (client gone or
+			// timeout): local execution could not finish either.
+			s.fail(w, statusFor(ctx.Err()), ctx.Err())
+			return true
+		}
+		// Degrade gracefully: the owner cannot answer, so this peer
+		// computes the result itself. Correctness is never lost on
+		// peer failure — only the owner's cache locality.
+		s.fleet.RecordFallback(addr)
+		reason := "peer-unavailable"
+		if errors.Is(err, resilient.ErrOpen) {
+			reason = "breaker-open"
+		}
+		s.logf("fleet: degrading to local execution for %s (%s): %v", addr, reason, err)
+		w.Header().Set(servedByHeader, s.fleet.Self())
+		w.Header().Set(degradedHeader, reason)
+		return false
+	}
+	for name, vals := range resp.Header {
+		w.Header()[name] = vals
+	}
+	w.Header().Set(servedByHeader, addr)
+	w.WriteHeader(resp.Status)
+	if _, err := w.Write(resp.Body); err != nil {
+		s.logf("fleet: relay response from %s: %v", addr, err)
+	}
+	return true
+}
+
+// chaosPartialLimit is how much of a response the partial-fault
+// injector lets through before aborting the connection.
+const chaosPartialLimit = 64
+
+// chaosWriter truncates the response after a byte budget and aborts
+// the connection (http.ErrAbortHandler unwinds through the handler and
+// net/http closes the stream mid-body) — the partial-response failure
+// a forwarding peer must detect and fall back from.
+type chaosWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (cw *chaosWriter) Write(p []byte) (int, error) {
+	if len(p) <= cw.remaining {
+		cw.remaining -= len(p)
+		return cw.ResponseWriter.Write(p)
+	}
+	cw.ResponseWriter.Write(p[:cw.remaining]) //nolint:errcheck // aborting anyway
+	cw.remaining = 0
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// chaos applies the -chaos fault hooks to the local serving path:
+// injected latency/errors before any work, and a truncating writer
+// afterwards. It reports whether the request was failed by injection,
+// and the (possibly wrapped) writer to respond through.
+func (s *server) chaos(ctx context.Context, w http.ResponseWriter) (http.ResponseWriter, bool) {
+	if s.fault == nil {
+		return w, false
+	}
+	if err := s.fault.Inject(ctx); err != nil {
+		s.fail(w, statusFor(err), err)
+		return w, true
+	}
+	if s.fault.Partial() {
+		w = &chaosWriter{ResponseWriter: w, remaining: chaosPartialLimit}
+	}
+	return w, false
+}
+
 // handleRun serves POST /backbone and POST /score: per-request
-// timeout, read+hash the body, admission into the bounded worker pool,
-// parse (through the graph cache), score (through the score cache),
-// prune, respond. Only the body read happens before admission — it is
-// I/O-bound and drains the request so the connection's background read
-// can detect a vanished client while the request queues for a slot;
-// parsing is multi-core since the chunked codec, so it runs inside the
-// pool with the scoring it feeds. X-Backbone-Cache reports "hit" when
-// a cached table let the request skip both parsing and scoring, else
-// "miss".
+// timeout, read+hash the body, fleet routing (forward to the digest's
+// owning peer, or fall back local), admission into the bounded worker
+// pool, parse (through the graph cache), score (through the score
+// cache), prune, respond. Only the body read and the forward happen
+// before admission — forwarding must not hold a local worker slot
+// hostage to a remote peer's latency, or a slow peer would saturate
+// this pool too and couple the failure domains the fleet exists to
+// separate. Parsing is multi-core since the chunked codec, so it runs
+// inside the pool with the scoring it feeds. X-Backbone-Cache reports
+// "hit" when a cached table let the request skip both parsing and
+// scoring, else "miss".
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -608,12 +777,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
-	ctx, cancel, body, release, ok := s.admit(w, r)
+	ctx, cancel, body, ok := s.intake(w, r)
 	if !ok {
 		return
 	}
 	defer cancel()
+	if s.routed(ctx, w, r, body) {
+		return
+	}
+	release, ok := s.acquire(ctx, w)
+	if !ok {
+		return
+	}
 	defer release()
+	w, failed := s.chaos(ctx, w)
+	if failed {
+		return
+	}
 
 	req, status, err := s.parseRun(ctx, r, body)
 	if err != nil {
@@ -708,12 +888,23 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Add(1)
 	s.evalRequests.Add(1)
-	ctx, cancel, body, release, ok := s.admit(w, r)
+	ctx, cancel, body, ok := s.intake(w, r)
 	if !ok {
 		return
 	}
 	defer cancel()
+	if s.routed(ctx, w, r, body) {
+		return
+	}
+	release, ok := s.acquire(ctx, w)
+	if !ok {
+		return
+	}
 	defer release()
+	w, failed := s.chaos(ctx, w)
+	if failed {
+		return
+	}
 
 	g, gkey, env, _, status, err := s.resolveGraph(ctx, r, body)
 	if err != nil {
@@ -827,20 +1018,32 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleStatsz reports process uptime, request count and cache
-// counters as JSON — the daemon's operational introspection endpoint.
+// handleStatsz reports process uptime, request count, cache counters
+// and — in fleet mode — per-peer forwarding/breaker counters as JSON:
+// the daemon's operational introspection endpoint.
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	out := map[string]any{
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"requests":       s.requests.Load(),
+		"draining":       s.draining.Load(),
 		"graph_cache":    s.graphs.Stats(),
 		"score_cache":    s.scores.Stats(),
 		"evaluate": map[string]uint64{
 			"requests":    s.evalRequests.Load(),
 			"cache_skips": s.evalCacheSkips.Load(),
 		},
-	})
+	}
+	if s.fleet != nil {
+		out["fleet"] = map[string]any{
+			"self":  s.fleet.Self(),
+			"peers": s.fleet.Stats(),
+		}
+	}
+	if s.fault != nil {
+		out["fault_injection"] = s.fault.Stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 // responseContentType maps a registered format name to its media type.

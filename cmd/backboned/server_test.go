@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"math/rand"
 	"net/http"
@@ -42,6 +43,16 @@ func (s slowScorer) ScoreEdges(sc *filter.Scores, lo, hi int) {
 
 func (s slowScorer) Scores(g *graph.Graph) (*filter.Scores, error) { return filter.Serial(s, g) }
 
+// panicScorer panics mid-request: the worker-pool slot-leak regression
+// test needs a handler that dies between acquire and release.
+type panicScorer struct{}
+
+func (panicScorer) Name() string { return "panictest" }
+
+func (panicScorer) Scores(g *graph.Graph) (*filter.Scores, error) {
+	panic("deliberate panictest panic")
+}
+
 func TestMain(m *testing.M) {
 	// Shrink the checkpoint so cancellation tests observe worker
 	// checkpoints on small graphs, and register the slow method.
@@ -52,6 +63,14 @@ func TestMain(m *testing.M) {
 		Desc:   "test-only scorer that sleeps per checkpoint range",
 		Order:  999,
 		Scorer: slowScorer{delay: 10 * time.Millisecond},
+		Cut:    func(filter.Params) float64 { return 0 },
+	})
+	filter.MustRegister(&filter.Method{
+		Name:   "panictest",
+		Title:  "Panic Test Method",
+		Desc:   "test-only scorer that panics mid-request",
+		Order:  998,
+		Scorer: panicScorer{},
 		Cut:    func(filter.Params) float64 { return 0 },
 	})
 	os.Exit(m.Run())
@@ -368,6 +387,8 @@ func TestWorkerPoolSaturation(t *testing.T) {
 		// The client may still read the 503 before its deadline fires.
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Errorf("status %d, want 503", resp.StatusCode)
+		} else if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Errorf("503 Retry-After = %q, want \"1\" so clients and fleet peers back off", ra)
 		}
 		resp.Body.Close()
 	}
@@ -428,6 +449,7 @@ func TestConcurrentRequests(t *testing.T) {
 // statszSnapshot decodes GET /statsz.
 type statszSnapshot struct {
 	Requests   uint64 `json:"requests"`
+	Draining   bool   `json:"draining"`
 	GraphCache struct {
 		Hits, Misses, Coalesced, Evictions uint64
 		Entries                            int
@@ -946,5 +968,86 @@ func TestScoreValidationPreserved(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("/score with undeclared envelope param: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestReadyzDrainFlip: /readyz answers 200 until graceful shutdown
+// begins, then 503 with a Retry-After — while /healthz stays 200 (the
+// process is alive, just leaving) and /statsz reports draining.
+func TestReadyzDrainFlip(t *testing.T) {
+	s, ts := newTestServer(t, 1, time.Second)
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+
+	if resp, body := get("/readyz"); resp.StatusCode != http.StatusOK || body != "ready\n" {
+		t.Errorf("before drain: /readyz = %d %q, want 200 ready", resp.StatusCode, body)
+	}
+	if snap := getStatsz(t, ts.URL); snap.Draining {
+		t.Error("before drain: /statsz reports draining")
+	}
+
+	s.beginDrain()
+
+	resp, body := get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("after drain: /readyz = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("after drain: /readyz Retry-After = %q, want \"1\"", ra)
+	}
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("after drain: /healthz = %d, want 200 — liveness must not follow readiness", resp.StatusCode)
+	}
+	if snap := getStatsz(t, ts.URL); !snap.Draining {
+		t.Error("after drain: /statsz does not report draining")
+	}
+}
+
+// TestPanickingHandlerReleasesSlot pins the panic-safety audit of the
+// worker pool (acquire's doc comment names this test): a handler that
+// panics between acquire and release must still return its slot. With
+// a single-slot pool, leaking even one would make every later request
+// time out waiting for admission.
+func TestPanickingHandlerReleasesSlot(t *testing.T) {
+	s := newServer(serverConfig{
+		workers: 1, timeout: time.Second, maxBody: 1 << 24,
+		graphCacheBytes: 64 << 20, scoreCacheBytes: 64 << 20,
+	})
+	ts := httptest.NewUnstartedServer(s)
+	// The deliberate panics below are expected noise; net/http prints a
+	// stack trace per recovered handler panic.
+	ts.Config.ErrorLog = log.New(io.Discard, "", 0)
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		// net/http recovers the panic and severs the connection, so the
+		// client sees either a transport error or no usable response;
+		// all that matters here is that the slot comes back.
+		resp, err := http.Post(ts.URL+"/backbone?method=panictest", "text/csv", strings.NewReader("a,b,1\n"))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/backbone?method=nt", "text/csv", strings.NewReader("a,b,1\nb,c,2\n"))
+		if err != nil {
+			t.Fatalf("request %d after panics: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d after panics: status %d (%s) — the pool leaked a slot", i, resp.StatusCode, body)
+		}
 	}
 }

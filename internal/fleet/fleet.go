@@ -1,0 +1,364 @@
+// Package fleet turns N backboned processes into one logical service:
+// a rendezvous-hash ring routes each request body (by its sha256
+// content digest, the same key the daemon's caches use) to one owning
+// peer, an HTTP client forwards scoring requests there with per-attempt
+// timeouts, retry/backoff and per-peer circuit breakers, and identical
+// concurrent forwards are deduplicated in flight.
+//
+// The fleet degrades, it does not fail: when the owning peer is
+// unreachable — breaker open, retries exhausted, or mid-stream
+// connection loss — the forwarding peer computes the answer itself.
+// Correctness is never lost on peer loss, only cache locality; the
+// daemon stamps X-Backbone-Degraded on such responses so the loss is
+// observable.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilient"
+)
+
+// ForwardedHeader marks a request as already routed by a peer. The
+// receiving daemon serves it locally, whatever its own ring says —
+// one hop maximum, so divergent membership views can never ping-pong
+// a request around the fleet.
+const ForwardedHeader = "X-Backbone-Forwarded"
+
+// relayHeaders are the response headers a forwarding peer relays back
+// to its client, by prefix or exact (canonical) name.
+const relayPrefix = "X-Backbone-"
+
+// Config assembles a Fleet.
+type Config struct {
+	// Self is this process's advertised address, as it appears in
+	// Peers. Peers is the full fleet membership; every peer must be
+	// configured with the same membership (ordering does not matter —
+	// rendezvous hashing is order-free).
+	Self  string
+	Peers []string
+	// Client is the forwarding HTTP client (default: http.Client with
+	// a 30s overall safety timeout; per-attempt budgets come from
+	// AttemptTimeout).
+	Client *http.Client
+	// AttemptTimeout bounds each forward attempt (default 10s); the
+	// request context still caps the total.
+	AttemptTimeout time.Duration
+	// Retry configures the backoff executor; its zero value applies
+	// the resilient defaults (3 attempts, 50ms..2s full jitter).
+	Retry resilient.Retry
+	// Breaker configures the per-peer circuit breakers; its zero
+	// value applies the resilient defaults.
+	Breaker resilient.BreakerConfig
+	// MaxResponseBytes bounds a relayed peer response (default 1GiB).
+	// Forwarded responses are buffered in full before relaying so a
+	// peer dying mid-body is detected while local fallback is still
+	// possible.
+	MaxResponseBytes int64
+	Logf             func(format string, args ...any)
+}
+
+// Peer is one fleet member plus its health and traffic accounting.
+type Peer struct {
+	Addr    string
+	breaker *resilient.Breaker
+
+	forwards  atomic.Uint64 // forward calls routed at this peer
+	retries   atomic.Uint64 // extra attempts beyond each first
+	failures  atomic.Uint64 // failed attempts (transport or 5xx)
+	fallbacks atomic.Uint64 // forwards abandoned for local execution
+}
+
+// PeerStats is one peer's /statsz row.
+type PeerStats struct {
+	Addr      string                 `json:"addr"`
+	Self      bool                   `json:"self,omitempty"`
+	Forwards  uint64                 `json:"forwards"`
+	Retries   uint64                 `json:"retries"`
+	Failures  uint64                 `json:"failures"`
+	Fallbacks uint64                 `json:"fallbacks"`
+	Breaker   resilient.BreakerStats `json:"breaker"`
+}
+
+// Fleet is the peer-aware routing layer in front of one daemon's local
+// execution path.
+type Fleet struct {
+	self    string
+	members []string // sorted, deduped membership incl. self
+	peers   map[string]*Peer
+	client  *http.Client
+	retry   resilient.Retry
+	attempt time.Duration
+	maxResp int64
+	logf    func(string, ...any)
+	flights flightGroup
+}
+
+// New validates the membership and builds the fleet. Self is added to
+// the membership if the peer list omitted it.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("fleet: self address is required")
+	}
+	seen := map[string]bool{}
+	var members []string
+	for _, addr := range append(append([]string{}, cfg.Peers...), cfg.Self) {
+		addr = strings.TrimSpace(addr)
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		members = append(members, addr)
+	}
+	if len(members) < 2 {
+		return nil, errors.New("fleet: need at least one peer besides self")
+	}
+	sort.Strings(members)
+
+	f := &Fleet{
+		self:    cfg.Self,
+		members: members,
+		peers:   make(map[string]*Peer, len(members)),
+		client:  cfg.Client,
+		retry:   cfg.Retry,
+		attempt: cfg.AttemptTimeout,
+		maxResp: cfg.MaxResponseBytes,
+		logf:    cfg.Logf,
+	}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if f.attempt <= 0 {
+		f.attempt = 10 * time.Second
+	}
+	if f.maxResp <= 0 {
+		f.maxResp = 1 << 30
+	}
+	if f.logf == nil {
+		f.logf = func(string, ...any) {}
+	}
+	for _, addr := range members {
+		p := &Peer{Addr: addr}
+		if addr != f.self {
+			p.breaker = resilient.NewBreaker(cfg.Breaker)
+		}
+		f.peers[addr] = p
+	}
+	return f, nil
+}
+
+// Self returns this process's advertised address.
+func (f *Fleet) Self() string { return f.self }
+
+// Members returns the sorted fleet membership.
+func (f *Fleet) Members() []string { return append([]string(nil), f.members...) }
+
+// Owner returns the address owning a body digest under rendezvous
+// hashing. Every peer with the same membership computes the same
+// owner.
+func (f *Fleet) Owner(d Digest) string { return owner(f.members, d) }
+
+// Response is a buffered peer response ready to relay: the status, the
+// relayable header subset, and the full body.
+type Response struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// ErrPeerUnavailable wraps forward failures that exhausted their
+// retries or hit an open breaker; the caller's contract is to fall
+// back to local execution.
+var ErrPeerUnavailable = errors.New("fleet: peer unavailable")
+
+// Forward sends the request to addr (the digest's owner) and returns
+// its buffered response. Identical concurrent forwards coalesce into
+// one upstream request. Peer responses below 500 — including 4xx
+// caller mistakes, which every peer would answer identically — are
+// successes to relay as-is; transport errors, truncated bodies and
+// 5xx statuses are retried with backoff (a 503's Retry-After raises
+// the pause) until the attempt budget, the request deadline, or the
+// peer's breaker says stop, and the error then wraps
+// ErrPeerUnavailable.
+func (f *Fleet) Forward(ctx context.Context, addr string, d Digest, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
+	p := f.peers[addr]
+	if p == nil || addr == f.self {
+		return nil, fmt.Errorf("%w: %q is not a forwardable peer", ErrPeerUnavailable, addr)
+	}
+	p.forwards.Add(1)
+	key := flightKey{digest: d, path: path, query: rawQuery, contentType: contentType}
+	resp, _, err := f.flights.do(ctx, key, func() (*Response, error) {
+		var out *Response
+		err := f.retry.Do(ctx, func(ctx context.Context, attempt int) error {
+			if attempt > 0 {
+				p.retries.Add(1)
+			}
+			if err := p.breaker.Allow(); err != nil {
+				// An open breaker ends the whole forward, not just
+				// this attempt: local fallback is cheaper than waiting
+				// out a cooldown.
+				return resilient.Permanent(err)
+			}
+			resp, err := f.attemptForward(ctx, p.Addr, path, rawQuery, contentType, accept, body)
+			if err != nil {
+				p.breaker.Record(false)
+				p.failures.Add(1)
+				return err
+			}
+			p.breaker.Record(true)
+			out = resp
+			return nil
+		})
+		if err != nil {
+			// Double-wrap so callers can both match the contract error
+			// and still see the cause (resilient.ErrOpen, context
+			// errors) through errors.Is.
+			return nil, fmt.Errorf("%w: %w", ErrPeerUnavailable, err)
+		}
+		return out, nil
+	})
+	if err != nil && !errors.Is(err, ErrPeerUnavailable) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: %w", ErrPeerUnavailable, err)
+	}
+	return resp, err
+}
+
+// attemptForward is one bounded try against one peer.
+func (f *Fleet) attemptForward(ctx context.Context, addr, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
+	actx, cancel := context.WithTimeout(ctx, f.attempt)
+	defer cancel()
+
+	url := "http://" + addr + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, resilient.Permanent(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	req.Header.Set(ForwardedHeader, f.self)
+
+	hr, err := f.client.Do(req)
+	if err != nil {
+		// Make the caller's deadline visible through the transport
+		// error so Retry stops instead of burning attempts.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("peer %s: %v", addr, err)
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hr.Body, f.maxResp+1))
+	if err != nil {
+		// A body that dies mid-read is the partial-response failure
+		// mode; nothing was relayed yet, so it is retryable.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("peer %s: reading response: %v", addr, err)
+	}
+	if int64(len(raw)) > f.maxResp {
+		return nil, fmt.Errorf("peer %s: response exceeds %d bytes", addr, f.maxResp)
+	}
+	if hr.StatusCode >= http.StatusInternalServerError {
+		err := fmt.Errorf("peer %s: status %d: %s", addr, hr.StatusCode, truncateForLog(raw))
+		if after := parseRetryAfter(hr.Header.Get("Retry-After")); after > 0 {
+			err = resilient.WithRetryAfter(err, after)
+		}
+		return nil, err
+	}
+
+	out := &Response{Status: hr.StatusCode, Header: make(http.Header), Body: raw}
+	if ct := hr.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	// Relay the daemon's own X-Backbone-* metadata headers in a
+	// deterministic order.
+	names := make([]string, 0, len(hr.Header))
+	for name := range hr.Header {
+		if strings.HasPrefix(name, relayPrefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out.Header[name] = hr.Header.Values(name)
+	}
+	return out, nil
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value; HTTP-date
+// forms and garbage parse as 0 (no hint).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// truncateForLog keeps error bodies loggable.
+func truncateForLog(b []byte) string {
+	const limit = 200
+	s := strings.TrimSpace(string(b))
+	if len(s) > limit {
+		return s[:limit] + "..."
+	}
+	return s
+}
+
+// RecordFallback counts a forward abandoned in favor of local
+// execution against the peer that could not serve it.
+func (f *Fleet) RecordFallback(addr string) {
+	if p := f.peers[addr]; p != nil {
+		p.fallbacks.Add(1)
+	}
+}
+
+// BreakerState exposes one peer's breaker position (tests and
+// diagnostics; Closed for self and unknown addresses).
+func (f *Fleet) BreakerState(addr string) resilient.BreakerState {
+	if p := f.peers[addr]; p != nil {
+		return p.breaker.State()
+	}
+	return resilient.Closed
+}
+
+// Stats snapshots every peer's counters and breaker, sorted by
+// address — the daemon serves this under /statsz.
+func (f *Fleet) Stats() []PeerStats {
+	out := make([]PeerStats, 0, len(f.members))
+	for _, addr := range f.members {
+		p := f.peers[addr]
+		out = append(out, PeerStats{
+			Addr:      addr,
+			Self:      addr == f.self,
+			Forwards:  p.forwards.Load(),
+			Retries:   p.retries.Load(),
+			Failures:  p.failures.Load(),
+			Fallbacks: p.fallbacks.Load(),
+			Breaker:   p.breaker.Stats(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package fleet
+
+import "crypto/sha256"
+
+// Digest is the fleet's shard key: the sha256 of a request's raw body,
+// the same content address the daemon's caches are keyed by. Routing
+// on it sends every re-post of a body to the same peer, so that peer's
+// graph and score caches accumulate all the hits for that content.
+type Digest = [sha256.Size]byte
+
+// rendezvousScore is the highest-random-weight score binding one peer
+// address to one digest: FNV-1a 64 over the address bytes then the
+// digest bytes. It is a pure function of (addr, digest), so every peer
+// computes the same owner with no coordination — and when a peer
+// leaves, only the digests it owned move (the defining rendezvous
+// property, tested in ring_test.go).
+func rendezvousScore(addr string, d Digest) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	for _, b := range d {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// owner picks the digest's owning address from members by highest
+// rendezvous score, breaking exact ties by smaller address so the
+// choice stays total-order deterministic. An empty membership returns
+// "".
+func owner(members []string, d Digest) string {
+	best := ""
+	var bestScore uint64
+	for _, addr := range members {
+		s := rendezvousScore(addr, d)
+		if best == "" || s > bestScore || (s == bestScore && addr < best) {
+			best, bestScore = addr, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomDigests(n int, seed int64) []Digest {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Digest, n)
+	for i := range out {
+		var body [16]byte
+		rng.Read(body[:])
+		out[i] = sha256.Sum256(body[:])
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossOrderings: ownership is a pure function
+// of (membership set, digest) — peer list order must not matter, or
+// differently-configured peers would route the same body differently.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	b := []string{"10.0.0.3:8080", "10.0.0.1:8080", "10.0.0.2:8080"}
+	for _, d := range randomDigests(1000, 1) {
+		if oa, ob := owner(a, d), owner(b, d); oa != ob {
+			t.Fatalf("digest %x: owner %q under one ordering, %q under another", d[:4], oa, ob)
+		}
+	}
+}
+
+// TestRingBalance: each of 3 peers owns a healthy share of random
+// digests (loose bound: at least 15% each over 30k samples).
+func TestRingBalance(t *testing.T) {
+	peers := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	counts := map[string]int{}
+	digests := randomDigests(30000, 2)
+	for _, d := range digests {
+		counts[owner(peers, d)]++
+	}
+	for _, p := range peers {
+		if c := counts[p]; c < len(digests)*15/100 {
+			t.Errorf("peer %s owns %d of %d digests — ring badly unbalanced", p, c, len(digests))
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the defining rendezvous property: when
+// one peer leaves, digests owned by the survivors keep their owner —
+// only the departed peer's share moves.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	without3 := full[:2]
+	moved := 0
+	digests := randomDigests(5000, 3)
+	for _, d := range digests {
+		before := owner(full, d)
+		after := owner(without3, d)
+		if before != "10.0.0.3:8080" && before != after {
+			t.Fatalf("digest %x moved %q -> %q though its owner survived", d[:4], before, after)
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved == 0 || moved > len(digests)/2 {
+		t.Errorf("%d of %d digests moved on one peer leaving; want roughly a third", moved, len(digests))
+	}
+}
+
+// TestNewValidation: membership rules.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"a:1", "b:1"}}); err == nil {
+		t.Error("missing self accepted")
+	}
+	if _, err := New(Config{Self: "a:1", Peers: []string{"a:1"}}); err == nil {
+		t.Error("single-member fleet accepted")
+	}
+	f, err := New(Config{Self: "a:1", Peers: []string{"b:1", "b:1", " a:1 ", "c:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Members()
+	want := []string{"a:1", "b:1", "c:1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("members = %v, want deduped sorted %v", got, want)
+	}
+	// Self omitted from the peer list is added.
+	f, err = New(Config{Self: "d:1", Peers: []string{"a:1", "b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Members()) != 3 {
+		t.Errorf("members = %v, want self appended", f.Members())
+	}
+}

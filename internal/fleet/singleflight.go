@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// flightKey identifies one forwardable computation: same body digest,
+// same endpoint, same query, same body interpretation (Content-Type).
+// Concurrent forwards with equal keys are served by one upstream
+// request between them.
+type flightKey struct {
+	digest      Digest
+	path        string
+	query       string
+	contentType string
+}
+
+// errFlightPanicked is what waiters observe when a leader panicked;
+// they retry rather than inherit a result that never materialized.
+var errFlightPanicked = errors.New("fleet: forward panicked")
+
+type flightCall struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// flightGroup deduplicates in-flight forwards, mirroring the retry
+// semantics of internal/cache's single-flight: a leader's failure —
+// possibly caused by its own context — never poisons waiters, who loop
+// around and elect a new leader unless their own context is done.
+// Nothing is cached: response memoization belongs to the owning peer's
+// content-addressed caches, not the forwarding hop.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+}
+
+// do returns fn's response, either by running it as the leader or by
+// joining an identical in-flight call. coalesced reports that this
+// call did no upstream work itself.
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() (*Response, error)) (resp *Response, coalesced bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[flightKey]*flightCall)
+		}
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					return c.resp, true, nil
+				}
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, false, ctxErr
+				}
+				continue // leader failed; try to lead ourselves
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		g.lead(key, c, fn)
+		return c.resp, false, c.err
+	}
+}
+
+// lead runs fn as the flight's leader; the deferred cleanup runs even
+// if fn panics, so the key is never wedged and the panic keeps
+// unwinding to the caller.
+func (g *flightGroup) lead(key flightKey, c *flightCall, fn func() (*Response, error)) {
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errFlightPanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.resp, c.err = fn()
+	completed = true
+}

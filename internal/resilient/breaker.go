@@ -1,0 +1,223 @@
+package resilient
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the breaker rejects
+// traffic: the peer failed enough recently that probing it again now
+// would only burn the request's budget.
+var ErrOpen = errors.New("resilient: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// Closed passes all traffic (the healthy steady state).
+	Closed BreakerState = iota
+	// Open rejects all traffic until the cooldown elapses.
+	Open
+	// HalfOpen passes a single probe; its outcome decides Closed vs Open.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value applies the defaults
+// documented per field.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// ErrorRate additionally opens the breaker when the failure
+	// fraction within the current Window reaches it, once the window
+	// holds at least WindowMinRequests samples. 0 disables the
+	// rate trigger.
+	ErrorRate         float64
+	WindowMinRequests int           // default 10
+	Window            time.Duration // default 10s
+	// Cooldown is how long an open breaker rejects before allowing a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	Clock    Clock
+}
+
+// BreakerStats is a point-in-time snapshot for observability surfaces
+// (the daemon's /statsz).
+type BreakerStats struct {
+	State               string `json:"state"`
+	Opens               uint64 `json:"opens"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+}
+
+// Breaker is a per-peer circuit breaker: closed → open on a
+// consecutive-failure or windowed error-rate threshold → half-open
+// probe after a cooldown → closed on probe success, reopen on probe
+// failure. A nil *Breaker passes all traffic and records nothing, so
+// callers without breaker config need not branch.
+//
+// Usage: if Allow returns nil the caller must Record the outcome of
+// exactly one operation; in the half-open state that pairing is what
+// limits the probe to a single in-flight request.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	winStart    time.Time
+	winReqs     int
+	winFails    int
+	openedAt    time.Time
+	probing     bool
+	opens       uint64
+}
+
+// NewBreaker returns a Breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.WindowMinRequests <= 0 {
+		cfg.WindowMinRequests = 10
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock
+	}
+	b := &Breaker{cfg: cfg}
+	b.winStart = cfg.Clock.Now()
+	return b
+}
+
+// Allow reports whether a request may proceed. A nil return obliges
+// the caller to call Record exactly once with the outcome.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrOpen
+		}
+		// Cooldown over: move to half-open and admit this caller as
+		// the probe.
+		b.state = HalfOpen
+		b.probing = true
+		return nil
+	case HalfOpen:
+		if b.probing {
+			return ErrOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Record reports one allowed operation's outcome and drives the state
+// transitions.
+func (b *Breaker) Record(success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Clock.Now()
+
+	if b.state == HalfOpen {
+		b.probing = false
+		if success {
+			b.toClosed(now)
+		} else {
+			b.toOpen(now)
+		}
+		return
+	}
+	if b.state == Open {
+		// A straggler from before the trip; its outcome is stale.
+		return
+	}
+
+	// Closed: roll the error-rate window, then count.
+	if now.Sub(b.winStart) > b.cfg.Window {
+		b.winStart, b.winReqs, b.winFails = now, 0, 0
+	}
+	b.winReqs++
+	if success {
+		b.consecFails = 0
+		return
+	}
+	b.winFails++
+	b.consecFails++
+	if b.consecFails >= b.cfg.FailureThreshold {
+		b.toOpen(now)
+		return
+	}
+	if b.cfg.ErrorRate > 0 && b.winReqs >= b.cfg.WindowMinRequests &&
+		float64(b.winFails)/float64(b.winReqs) >= b.cfg.ErrorRate {
+		b.toOpen(now)
+	}
+}
+
+// toOpen / toClosed run under b.mu.
+func (b *Breaker) toOpen(now time.Time) {
+	b.state = Open
+	b.openedAt = now
+	b.opens++
+	b.probing = false
+}
+
+func (b *Breaker) toClosed(now time.Time) {
+	b.state = Closed
+	b.consecFails = 0
+	b.winStart, b.winReqs, b.winFails = now, 0, 0
+	b.probing = false
+}
+
+// State returns the breaker's current position, surfacing an elapsed
+// cooldown as HalfOpen without consuming the probe slot.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Clock.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Stats snapshots the breaker for observability. A nil breaker reports
+// a closed state with zero counters.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: Closed.String()}
+	}
+	st := b.State()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: st.String(), Opens: b.opens, ConsecutiveFailures: b.consecFails}
+}

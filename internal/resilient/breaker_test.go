@@ -1,0 +1,189 @@
+package resilient
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestBreaker(clock Clock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         5 * time.Second,
+		Clock:            clock,
+	})
+}
+
+// TestBreakerHealthyPeerPassesEverything is the property test pinned
+// by the issue: against a peer that always succeeds, the breaker
+// passes 100% of traffic and never leaves Closed — whatever the
+// request volume or timing.
+func TestBreakerHealthyPeerPassesEverything(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("request %d rejected: %v", i, err)
+		}
+		b.Record(true)
+		// Arbitrary pacing must not matter.
+		clock.advance(time.Duration(rng.Intn(500)) * time.Millisecond)
+	}
+	if st := b.State(); st != Closed {
+		t.Errorf("state = %v after an all-success stream", st)
+	}
+	if s := b.Stats(); s.Opens != 0 || s.ConsecutiveFailures != 0 {
+		t.Errorf("stats = %+v after an all-success stream", s)
+	}
+}
+
+// TestBreakerSubThresholdFailuresStayClosed: failures interleaved with
+// successes never accumulate to the consecutive threshold.
+func TestBreakerSubThresholdFailuresStayClosed(t *testing.T) {
+	b := newTestBreaker(newFakeClock())
+	for i := 0; i < 1000; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("request %d rejected: %v", i, err)
+		}
+		// Two failures then a success: always below threshold 3.
+		b.Record(i%3 == 2)
+	}
+	if st := b.State(); st != Closed {
+		t.Errorf("state = %v, want closed", st)
+	}
+}
+
+// TestBreakerLifecycle walks the full state machine: consecutive
+// failures open it, the cooldown admits exactly one half-open probe,
+// and the probe's outcome picks Closed or re-Open.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock)
+
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	if st := b.State(); st != Open {
+		t.Fatalf("state after 3 failures = %v, want open", st)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed traffic (err=%v)", err)
+	}
+
+	// Cooldown not yet over.
+	clock.advance(4 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("breaker reopened before the cooldown elapsed")
+	}
+
+	// Cooldown over: exactly one probe.
+	clock.advance(2 * time.Second)
+	if st := b.State(); st != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker rejected the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe: straight back to open, cooldown restarted.
+	b.Record(false)
+	if st := b.State(); st != Open {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	clock.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(true)
+	if st := b.State(); st != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if s := b.Stats(); s.Opens != 2 {
+		t.Errorf("opens = %d, want 2", s.Opens)
+	}
+
+	// Fully recovered: traffic flows again.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+}
+
+// TestBreakerErrorRateTrigger: the windowed rate trigger opens the
+// breaker even when successes keep resetting the consecutive counter.
+func TestBreakerErrorRateTrigger(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold:  1000, // out of reach: isolate the rate trigger
+		ErrorRate:         0.5,
+		WindowMinRequests: 10,
+		Window:            time.Minute,
+		Cooldown:          5 * time.Second,
+		Clock:             clock,
+	})
+	// Alternate failure/success: rate 0.5, consecutive never above 1.
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("request %d rejected before the window filled: %v", i, err)
+		}
+		b.Record(i%2 == 0)
+	}
+	if st := b.State(); st != Open {
+		t.Errorf("state = %v after 50%% failures over 10 requests, want open", st)
+	}
+}
+
+// TestBreakerWindowExpiryForgetsOldFailures: failures older than the
+// window do not count toward the rate.
+func TestBreakerWindowExpiryForgetsOldFailures(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold:  1000,
+		ErrorRate:         0.5,
+		WindowMinRequests: 4,
+		Window:            time.Second,
+		Cooldown:          5 * time.Second,
+		Clock:             clock,
+	})
+	// Three failures... then a quiet spell longer than the window.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(i != 0) // one failure, two successes: rate primed but below min
+	}
+	clock.advance(2 * time.Second)
+	// A fresh window of successes with a single failure stays closed.
+	for i := 0; i < 8; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("request %d rejected: %v", i, err)
+		}
+		b.Record(i != 0)
+	}
+	if st := b.State(); st != Closed {
+		t.Errorf("state = %v, want closed (old failures must age out)", st)
+	}
+}
+
+// TestBreakerNil: the nil breaker is the no-op pass-through.
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false)
+	if st := b.State(); st != Closed {
+		t.Errorf("nil breaker state = %v", st)
+	}
+	if s := b.Stats(); s.State != "closed" {
+		t.Errorf("nil breaker stats = %+v", s)
+	}
+}

@@ -1,0 +1,165 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error produced by an ErrorRate fault injection;
+// handlers map it like any other internal failure.
+var ErrInjected = errors.New("resilient: injected fault")
+
+// Fault is a chaos-testing hook: it injects errors, latency and
+// partial (truncated) responses at configurable rates. A nil *Fault is
+// the production configuration — every method returns immediately, so
+// the hook costs one nil check on the hot path and nothing else.
+// Faults are injected by the serving peer, which is what lets a fleet
+// test drive one peer to 100% failures while the others stay healthy.
+type Fault struct {
+	// ErrorRate is the probability Inject returns ErrInjected.
+	ErrorRate float64
+	// Latency is added (before any error) with probability
+	// LatencyRate.
+	Latency     time.Duration
+	LatencyRate float64
+	// PartialRate is the probability Partial reports true, telling the
+	// serving layer to truncate and abort its response mid-body.
+	PartialRate float64
+	// Clock defaults to SystemClock; Rand to math/rand.Float64 (which
+	// is safe for concurrent use — substitutes must be too).
+	Clock Clock
+	Rand  func() float64
+
+	errors    atomic.Uint64
+	latencies atomic.Uint64
+	partials  atomic.Uint64
+}
+
+// FaultStats counts what a Fault has injected so far.
+type FaultStats struct {
+	Errors    uint64 `json:"errors"`
+	Latencies uint64 `json:"latencies"`
+	Partials  uint64 `json:"partials"`
+}
+
+func (f *Fault) clock() Clock {
+	if f.Clock != nil {
+		return f.Clock
+	}
+	return SystemClock
+}
+
+func (f *Fault) rand() float64 {
+	if f.Rand != nil {
+		return f.Rand()
+	}
+	return rand.Float64()
+}
+
+// Inject applies latency then error injection. It returns ErrInjected
+// with probability ErrorRate, ctx's error if the injected latency
+// outlived it, and nil otherwise. A nil *Fault injects nothing.
+func (f *Fault) Inject(ctx context.Context) error {
+	if f == nil {
+		return nil
+	}
+	if f.Latency > 0 && f.LatencyRate > 0 && f.rand() < f.LatencyRate {
+		f.latencies.Add(1)
+		if err := f.clock().Sleep(ctx, f.Latency); err != nil {
+			return err
+		}
+	}
+	if f.ErrorRate > 0 && f.rand() < f.ErrorRate {
+		f.errors.Add(1)
+		return ErrInjected
+	}
+	return nil
+}
+
+// Partial reports whether this response should be truncated mid-body.
+// A nil *Fault never truncates.
+func (f *Fault) Partial() bool {
+	if f == nil || f.PartialRate <= 0 {
+		return false
+	}
+	if f.rand() < f.PartialRate {
+		f.partials.Add(1)
+		return true
+	}
+	return false
+}
+
+// Stats snapshots the injection counters. A nil Fault reports zeros.
+func (f *Fault) Stats() FaultStats {
+	if f == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		Errors:    f.errors.Load(),
+		Latencies: f.latencies.Load(),
+		Partials:  f.partials.Load(),
+	}
+}
+
+// ParseFaultSpec builds a Fault from a comma-separated key=value spec,
+// the daemon's -chaos flag syntax:
+//
+//	error=RATE          probability of an injected error (0..1)
+//	latency=DURATION    injected latency (Go duration, e.g. 50ms)
+//	latency-rate=RATE   probability of the latency (default 1 when
+//	                    latency is set)
+//	partial=RATE        probability of a truncated response (0..1)
+//
+// An empty spec returns (nil, nil): chaos disabled.
+func ParseFaultSpec(spec string) (*Fault, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	f := &Fault{}
+	latencyRateSet := false
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("resilient: fault spec %q: want key=value", kv)
+		}
+		switch key {
+		case "error", "latency-rate", "partial":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("resilient: fault spec %s=%q: want a rate in [0,1]", key, val)
+			}
+			switch key {
+			case "error":
+				f.ErrorRate = rate
+			case "latency-rate":
+				f.LatencyRate = rate
+				latencyRateSet = true
+			case "partial":
+				f.PartialRate = rate
+			}
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("resilient: fault spec latency=%q: want a non-negative duration", val)
+			}
+			f.Latency = d
+		default:
+			return nil, fmt.Errorf("resilient: fault spec: unknown key %q", key)
+		}
+	}
+	if f.Latency > 0 && !latencyRateSet {
+		f.LatencyRate = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,105 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultNilIsInert: the production configuration injects nothing.
+func TestFaultNilIsInert(t *testing.T) {
+	var f *Fault
+	if err := f.Inject(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if f.Partial() {
+		t.Fatal("nil fault truncated a response")
+	}
+	if s := f.Stats(); s != (FaultStats{}) {
+		t.Fatalf("nil fault stats = %+v", s)
+	}
+}
+
+// TestFaultRates: rate 1 always injects, rate 0 never does, and the
+// counters record what happened.
+func TestFaultRates(t *testing.T) {
+	always := &Fault{ErrorRate: 1, PartialRate: 1}
+	for i := 0; i < 100; i++ {
+		if err := always.Inject(context.Background()); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+		if !always.Partial() {
+			t.Fatalf("call %d: no partial at rate 1", i)
+		}
+	}
+	if s := always.Stats(); s.Errors != 100 || s.Partials != 100 {
+		t.Errorf("stats = %+v, want 100 errors and partials", s)
+	}
+
+	never := &Fault{ErrorRate: 0, PartialRate: 0, Latency: time.Hour, LatencyRate: 0}
+	for i := 0; i < 100; i++ {
+		if err := never.Inject(context.Background()); err != nil {
+			t.Fatalf("call %d: err = %v at rate 0", i, err)
+		}
+		if never.Partial() {
+			t.Fatal("partial at rate 0")
+		}
+	}
+	if s := never.Stats(); s != (FaultStats{}) {
+		t.Errorf("stats = %+v, want zeros", s)
+	}
+}
+
+// TestFaultLatencyUsesClock: latency injection sleeps on the
+// injectable clock and respects context expiry.
+func TestFaultLatencyUsesClock(t *testing.T) {
+	clock := newFakeClock()
+	f := &Fault{Latency: 250 * time.Millisecond, LatencyRate: 1, Clock: clock}
+	if err := f.Inject(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps := clock.sleeps(); len(sleeps) != 1 || sleeps[0] != 250*time.Millisecond {
+		t.Errorf("slept %v, want one 250ms sleep", sleeps)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.Inject(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("latency against a dead context: err = %v", err)
+	}
+}
+
+// TestParseFaultSpec covers the -chaos flag grammar.
+func TestParseFaultSpec(t *testing.T) {
+	f, err := ParseFaultSpec("error=0.25,latency=50ms,latency-rate=0.5,partial=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ErrorRate != 0.25 || f.Latency != 50*time.Millisecond || f.LatencyRate != 0.5 || f.PartialRate != 0.1 {
+		t.Errorf("parsed %+v", f)
+	}
+
+	// Latency without an explicit rate means "always".
+	f, err = ParseFaultSpec("latency=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LatencyRate != 1 {
+		t.Errorf("latency-rate defaulted to %v, want 1", f.LatencyRate)
+	}
+
+	// Empty spec: chaos disabled.
+	if f, err = ParseFaultSpec("  "); err != nil || f != nil {
+		t.Errorf("empty spec: %v %v", f, err)
+	}
+
+	for _, bad := range []string{
+		"error=2", "error=x", "latency=fast", "latency=-5ms",
+		"partial=-0.1", "nonsense=1", "error",
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
