@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIConvertThenRun: -convert writes the binary twin next to the
+// input, and running on the .bbg (mmap-loaded, never parsed) produces
+// byte-identical output to running on the text original.
+func TestCLIConvertThenRun(t *testing.T) {
+	in := writeTestCSV(t)
+
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-convert", in}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("-convert: %v", err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("-convert wrote to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "converted:") {
+		t.Fatalf("missing conversion summary: %q", stderr.String())
+	}
+	bbg := strings.TrimSuffix(in, ".csv") + ".bbg"
+	if _, err := os.Stat(bbg); err != nil {
+		t.Fatalf("expected %s: %v", bbg, err)
+	}
+
+	var fromCSV, fromBBG, errbuf bytes.Buffer
+	if err := newApp().run([]string{"-method", "nc", "-delta", "1.0", in}, nil, &fromCSV, &errbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := newApp().run([]string{"-method", "nc", "-delta", "1.0", bbg}, nil, &fromBBG, &errbuf); err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV.String() != fromBBG.String() {
+		t.Fatalf("backbone from .bbg differs:\n%s\nvs\n%s", fromBBG.String(), fromCSV.String())
+	}
+}
+
+// TestCLIConvertGraphdir: -graphdir names the output after the sha256
+// of the raw input bytes — the digest backboned computes over a
+// request body carrying the same edge list.
+func TestCLIConvertGraphdir(t *testing.T) {
+	in := writeTestCSV(t)
+	dir := filepath.Join(t.TempDir(), "graphs")
+
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-convert", "-graphdir", dir, in}, nil, &stdout, &stderr); err != nil {
+		t.Fatalf("-convert -graphdir: %v", err)
+	}
+	sum := sha256.Sum256([]byte(testCSV))
+	want := filepath.Join(dir, hex.EncodeToString(sum[:])+".bbg")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("expected %s: %v", want, err)
+	}
+	if !strings.Contains(stderr.String(), want) {
+		t.Fatalf("summary does not name the output: %q", stderr.String())
+	}
+}
+
+// TestCLIConvertStdin: stdin input has no path to derive a name from,
+// so -o (or -graphdir) is mandatory; with -o it converts normally.
+func TestCLIConvertStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := newApp().run([]string{"-convert", "-"}, strings.NewReader(testCSV), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-o or -graphdir") {
+		t.Fatalf("err = %v, want the naming requirement", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "out.bbg")
+	stderr.Reset()
+	if err := newApp().run([]string{"-convert", "-o", out, "-"}, strings.NewReader(testCSV), &stdout, &stderr); err != nil {
+		t.Fatalf("-convert -o from stdin: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLIConvertFlagCombos pins the mutual-exclusion rules.
+func TestCLIConvertFlagCombos(t *testing.T) {
+	in := writeTestCSV(t)
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-graphdir", t.TempDir(), in}, "-graphdir only applies to -convert"},
+		{[]string{"-convert", "-eval", in}, "mutually exclusive"},
+		{[]string{"-convert", "-graphdir", t.TempDir(), "-o", "x.bbg", in}, "mutually exclusive"},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := newApp().run(tc.args, nil, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestCLIBBGExplicitOtherFormat: naming a conflicting -format on a
+// .bbg path skips the mmap fast path and parses — which must then fail
+// typed, not mis-parse binary bytes silently.
+func TestCLIBBGExplicitOtherFormat(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-convert", in}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	bbg := strings.TrimSuffix(in, ".csv") + ".bbg"
+	err := newApp().run([]string{"-format", "csv", bbg}, nil, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("csv-parsing a .bbg file succeeded")
+	}
+}

@@ -12,6 +12,9 @@
 //	backbone -method nc -top 500 edges.csv        # fixed-size backbone
 //	backbone -eval edges.csv                      # grade every method (report)
 //	backbone -eval -methods nc,df -frac 0.05 edges.csv
+//	backbone -convert edges.csv                   # edges.bbg: binary, mmap-loadable
+//	backbone -convert -graphdir /var/graphs edges.csv
+//	backbone -method nc edges.bbg                 # mmap-loads, no re-parse
 //	backbone -list                                # show registered methods
 //
 // -eval switches the command from extraction to evaluation: every
@@ -29,15 +32,24 @@
 //
 // The input is an edge list in any registered graph format — csv
 // (comma, tab or space separated; '#' comments and a header row are
-// skipped), tsv, or ndjson — optionally gzip-compressed; the format is
-// sniffed from the content unless -format names one. The backbone is
+// skipped), tsv, ndjson, or the binary bbg container — optionally
+// gzip-compressed; the format is sniffed from the content unless
+// -format names one. A file named *.bbg is memory-mapped instead of
+// parsed, so start-up cost is independent of graph size; -convert
+// produces such a file from any readable input, writing it next to the
+// input (extension swapped to .bbg), to -o, or — with -graphdir — to
+// <dir>/<sha256-of-input>.bbg, the name the backboned daemon resolves
+// for its own mmap fast path. The backbone is
 // written to -o (default stdout) in the -outformat encoding (default:
 // inferred from the -o extension, else csv), and a summary goes to
 // stderr.
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -46,6 +58,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,6 +66,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/binfmt"
 )
 
 // errFlagParse marks parse failures the FlagSet has already reported
@@ -92,6 +106,8 @@ type app struct {
 	eval     *bool
 	methods  *string
 	next     *string
+	convert  *bool
+	graphdir *string
 	// paramFlags maps parameter name -> parsed value holder; integer
 	// parameters get their own holder so -k renders and parses as int.
 	floatFlags map[string]*float64
@@ -116,6 +132,8 @@ func newApp() *app {
 	a.eval = a.fs.Bool("eval", false, "evaluate methods under the paper's criteria instead of extracting one backbone")
 	a.methods = a.fs.String("methods", "", "comma-separated method subset for -eval (default: every registered method)")
 	a.next = a.fs.String("next", "", "edge list of the next observation (enables the -eval stability criterion)")
+	a.convert = a.fs.Bool("convert", false, "convert the input to the binary .bbg container and exit")
+	a.graphdir = a.fs.String("graphdir", "", "with -convert: write <dir>/<sha256-of-input>.bbg (the backboned -graphdir naming)")
 
 	// Generate one flag per distinct parameter name across all
 	// registered methods, annotating which method uses it for what.
@@ -455,6 +473,78 @@ func writeEvalCSV(w io.Writer, rep *repro.EvalReport) error {
 	return nil
 }
 
+// runConvert parses the input edge list (any registered format) and
+// writes it as a binary .bbg container — the file the .bbg fast path
+// here and the daemon's -graphdir memory-map instead of re-parsing.
+// The destination is -graphdir/<sha256-of-input>.bbg when -graphdir is
+// set (the digest backboned computes over a request body, so a
+// converted file is found by the daemon without further bookkeeping),
+// else -o, else the input path with its extension swapped to .bbg.
+func (a *app) runConvert(stdin io.Reader, stderr io.Writer) error {
+	path := a.fs.Arg(0)
+	in := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	// The whole input is buffered: -graphdir names the file after the
+	// raw byte digest, and every other case re-reads cheaply anyway.
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	readOpts := []repro.IOOption{repro.WithDirected(*a.directed)}
+	if *a.format != "" {
+		readOpts = append(readOpts, repro.WithFormat(*a.format))
+	}
+	g, err := repro.ReadGraph(bytes.NewReader(data), readOpts...)
+	if err != nil {
+		return err
+	}
+
+	dst := *a.out
+	switch {
+	case *a.graphdir != "":
+		if dst != "" {
+			return fmt.Errorf("-o and -graphdir are mutually exclusive")
+		}
+		if err := os.MkdirAll(*a.graphdir, 0o755); err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		dst = filepath.Join(*a.graphdir, hex.EncodeToString(sum[:])+".bbg")
+	case dst == "":
+		if path == "-" {
+			return fmt.Errorf("-convert from stdin needs -o or -graphdir to name the output")
+		}
+		dst = strings.TrimSuffix(path, filepath.Ext(path)) + ".bbg"
+	}
+
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	writeErr := repro.WriteGraph(f, g, repro.WithFormat("bbg"))
+	if err := f.Close(); writeErr == nil {
+		writeErr = err
+	}
+	if writeErr != nil {
+		os.Remove(dst) // don't leave a torn container behind
+		return fmt.Errorf("write %s: %w", dst, writeErr)
+	}
+	info, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "converted: %d nodes, %d edges -> %s (%d bytes)\n",
+		g.NumNodes(), g.NumEdges(), dst, info.Size())
+	return nil
+}
+
 func paramNames(m *repro.Method) string {
 	if len(m.Params) == 0 {
 		return "none"
@@ -482,6 +572,15 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 		a.fs.Usage()
 		return fmt.Errorf("expected exactly one input file (use - for stdin)")
 	}
+	if *a.graphdir != "" && !*a.convert {
+		return fmt.Errorf("-graphdir only applies to -convert")
+	}
+	if *a.convert {
+		if *a.eval {
+			return fmt.Errorf("-convert and -eval are mutually exclusive")
+		}
+		return a.runConvert(stdin, stderr)
+	}
 
 	// Validate the flag combination — and, for -eval, the report
 	// encoding — before touching the input.
@@ -502,22 +601,37 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 		}
 	}
 
-	in := stdin
-	if path := a.fs.Arg(0); path != "-" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
 	readOpts := []repro.IOOption{repro.WithDirected(*a.directed)}
 	if *a.format != "" {
 		readOpts = append(readOpts, repro.WithFormat(*a.format))
 	}
-	g, err := repro.ReadGraph(in, readOpts...)
-	if err != nil {
-		return err
+	var g *repro.Graph
+	if path := a.fs.Arg(0); path != "-" && strings.HasSuffix(path, ".bbg") &&
+		(*a.format == "" || *a.format == "bbg") {
+		// Binary container: mmap it instead of parsing. The mapping must
+		// outlive every use of g, so Close is deferred past the output
+		// write below; the file header decides directedness.
+		bf, err := binfmt.Open(path)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		g = bf.Graph()
+	} else {
+		in := stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		parsed, err := repro.ReadGraph(in, readOpts...)
+		if err != nil {
+			return err
+		}
+		g = parsed
 	}
 
 	if *a.eval {

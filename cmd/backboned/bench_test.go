@@ -51,6 +51,49 @@ func benchDaemon(b *testing.B, unique bool) {
 func BenchmarkDaemonBackboneCold(b *testing.B)     { benchDaemon(b, true) }
 func BenchmarkDaemonBackboneCacheHit(b *testing.B) { benchDaemon(b, false) }
 
+// benchDaemonColdGraph measures a request that must re-resolve its
+// graph every time (both LRU caches disabled — the perpetual-cold-miss
+// regime of bodies larger than any budget). With graphdir the body's
+// pre-converted .bbg is memory-mapped once and every request reuses
+// the mapping; without it every request re-parses the text body. The
+// pair quantifies what -graphdir buys a cache-starved daemon.
+func benchDaemonColdGraph(b *testing.B, graphdir bool) {
+	cfg := serverConfig{
+		workers: 4, timeout: time.Minute, maxBody: 1 << 28,
+		graphCacheBytes: 0, scoreCacheBytes: 0,
+	}
+	base := encodeGraph(b, testGraph(b, 20_000), "csv").Bytes()
+	if graphdir {
+		cfg.graphDir = b.TempDir()
+		convertBody(b, cfg.graphDir, base, false)
+	}
+	s := newServer(cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	url := ts.URL + "/backbone?method=nc&delta=1.64"
+	post := func() {
+		resp, err := http.Post(url, "text/csv", bytes.NewReader(base))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post() // warm: the mapped graph loads once, outside the measurement
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+func BenchmarkDaemonBackboneGraphdir(b *testing.B) { benchDaemonColdGraph(b, true) }
+func BenchmarkDaemonBackboneReparse(b *testing.B)  { benchDaemonColdGraph(b, false) }
+
 // BenchmarkDaemonEvaluateCacheHit measures a full multi-method
 // /evaluate report served from the content-addressed score cache: the
 // warm-up request scores every method once, every measured request

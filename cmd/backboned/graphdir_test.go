@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newGraphdirServer is newTestServer with the -graphdir fast path
+// enabled on a fresh directory.
+func newGraphdirServer(t testing.TB) (*server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s := newServer(serverConfig{
+		workers: 2, timeout: 5 * time.Second, maxBody: 1 << 24,
+		graphCacheBytes: 64 << 20, scoreCacheBytes: 64 << 20,
+		graphDir: dir,
+		logf:     t.Logf,
+	})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, dir
+}
+
+// convertBody writes the .bbg twin of an edge-list body under dir with
+// the daemon's digest naming — what `backbone -convert -graphdir dir`
+// produces.
+func convertBody(t testing.TB, dir string, body []byte, directed bool) string {
+	t.Helper()
+	g, err := repro.ReadGraph(bytes.NewReader(body), repro.WithDirected(directed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(body)
+	path := filepath.Join(dir, hex.EncodeToString(sum[:])+".bbg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.WriteGraph(f, g, repro.WithFormat("bbg")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mmapStats fetches the /statsz "mmap" block.
+func mmapStats(t testing.TB, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Mmap map[string]float64 `json:"mmap"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mmap == nil {
+		t.Fatal("statsz has no mmap block")
+	}
+	return out.Mmap
+}
+
+func postBackbone(t testing.TB, url string, body []byte, query string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/backbone"+query, "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestGraphdirServesMappedGraph: a body whose digest names a
+// pre-converted .bbg must be served from the mapping — same response
+// bytes as a parsing daemon, /statsz counting the load and the hits.
+func TestGraphdirServesMappedGraph(t *testing.T) {
+	body := encodeGraph(t, testGraph(t, 200), "csv").Bytes()
+
+	_, plain := newTestServer(t, 2, 5*time.Second)
+	_, ts, dir := newGraphdirServer(t)
+	convertBody(t, dir, body, false)
+
+	wantStatus, want := postBackbone(t, plain.URL, body, "?method=nc&delta=1.0")
+	if wantStatus != http.StatusOK {
+		t.Fatalf("parsing daemon: status %d: %s", wantStatus, want)
+	}
+	for i := 0; i < 2; i++ {
+		status, got := postBackbone(t, ts.URL, body, "?method=nc&delta=1.0")
+		if status != http.StatusOK {
+			t.Fatalf("post %d: status %d: %s", i, status, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post %d: mmap-served backbone differs from parsed:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+
+	st := mmapStats(t, ts.URL)
+	if st["graphs"] != 1 {
+		t.Fatalf("graphs = %v, want 1 (one digest, one load)", st["graphs"])
+	}
+	if st["hits"] < 2 {
+		t.Fatalf("hits = %v, want >= 2", st["hits"])
+	}
+	if st["sections"] <= 0 || st["mapped_bytes"] < 0 {
+		t.Fatalf("implausible section/byte gauges: %v", st)
+	}
+	if st["errors"] != 0 || st["misses"] != 0 {
+		t.Fatalf("unexpected errors/misses: %v", st)
+	}
+}
+
+// TestGraphdirDirectednessMismatch: the file header decides how the
+// graph was converted; a request for the other orientation must fall
+// back to parsing the body (a miss, never a wrong answer).
+func TestGraphdirDirectednessMismatch(t *testing.T) {
+	body := encodeGraph(t, testGraph(t, 120), "csv").Bytes()
+	_, ts, dir := newGraphdirServer(t)
+	convertBody(t, dir, body, false) // undirected twin
+
+	status, resp := postBackbone(t, ts.URL, body, "?method=nc&directed=1")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, resp)
+	}
+	st := mmapStats(t, ts.URL)
+	if st["hits"] != 0 {
+		t.Fatalf("hits = %v, want 0 (orientation mismatch)", st["hits"])
+	}
+	if st["misses"] < 1 {
+		t.Fatalf("misses = %v, want >= 1", st["misses"])
+	}
+	// The matching orientation still rides the mapping.
+	if status, resp := postBackbone(t, ts.URL, body, "?method=nc"); status != http.StatusOK {
+		t.Fatalf("undirected request: status %d: %s", status, resp)
+	}
+	if st := mmapStats(t, ts.URL); st["hits"] != 1 {
+		t.Fatalf("hits = %v after matching request, want 1", st["hits"])
+	}
+}
+
+// TestGraphdirCorruptFileFallsBack: an unreadable .bbg must not fail
+// the request — the daemon parses the body it already holds, counts
+// the error, and remembers the verdict instead of re-opening the file
+// on every request.
+func TestGraphdirCorruptFileFallsBack(t *testing.T) {
+	body := encodeGraph(t, testGraph(t, 80), "csv").Bytes()
+	_, ts, dir := newGraphdirServer(t)
+	path := convertBody(t, dir, body, false)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		if status, resp := postBackbone(t, ts.URL, body, "?method=nc"); status != http.StatusOK {
+			t.Fatalf("post %d: status %d: %s", i, status, resp)
+		}
+	}
+	st := mmapStats(t, ts.URL)
+	if st["errors"] != 1 {
+		t.Fatalf("errors = %v, want exactly 1 (failed load is memoized)", st["errors"])
+	}
+	if st["hits"] != 0 || st["graphs"] != 0 {
+		t.Fatalf("corrupt file must not serve: %v", st)
+	}
+}
+
+// TestGraphdirLateConversion: a digest with no file is a plain miss —
+// and must be re-probed later, so converting a hot graph while the
+// daemon runs starts paying off without a restart.
+func TestGraphdirLateConversion(t *testing.T) {
+	body := encodeGraph(t, testGraph(t, 80), "csv").Bytes()
+	_, ts, dir := newGraphdirServer(t)
+
+	if status, resp := postBackbone(t, ts.URL, body, "?method=nc"); status != http.StatusOK {
+		t.Fatalf("pre-conversion: status %d: %s", status, resp)
+	}
+	if st := mmapStats(t, ts.URL); st["misses"] != 1 || st["graphs"] != 0 {
+		t.Fatalf("pre-conversion stats: %v", st)
+	}
+
+	// The mmap probe runs before the graph LRU, so the already-cached
+	// parse must not mask the newly converted file.
+	convertBody(t, dir, body, false)
+
+	if status, resp := postBackbone(t, ts.URL, body, "?method=nc"); status != http.StatusOK {
+		t.Fatalf("post-conversion: status %d: %s", status, resp)
+	}
+	if st := mmapStats(t, ts.URL); st["hits"] != 1 || st["graphs"] != 1 {
+		t.Fatalf("post-conversion stats: %v", st)
+	}
+}

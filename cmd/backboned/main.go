@@ -4,7 +4,8 @@
 // Usage:
 //
 //	backboned [-addr :8080] [-workers N] [-timeout 60s] [-max-body 256MiB]
-//	          [-graph-cache-mb 256] [-score-cache-mb 128] [-pprof addr]
+//	          [-graph-cache-mb 256] [-score-cache-mb 128] [-graphdir dir]
+//	          [-pprof addr]
 //	          [-peers host:port,... -self host:port] [-peer-timeout 10s]
 //	          [-chaos spec]
 //
@@ -50,6 +51,15 @@
 // without scoring a single edge. -pprof starts net/http/pprof on a
 // side listener for production profiling.
 //
+// -graphdir names a directory of pre-converted binary graphs
+// (produced by `backbone -convert -graphdir dir edges.csv`): each file
+// is <sha256-of-the-edge-list>.bbg, so when a request body's digest
+// names one, the daemon memory-maps the graph instead of parsing the
+// body — cold-start cost becomes independent of graph size, and
+// graphs larger than the LRU budget (or than RAM) serve straight from
+// the page cache. Mapped graphs live for the process; GET /statsz
+// reports hit/miss/load counters under "mmap".
+//
 // Fleet mode (-peers with -self) shards the content-addressed caches
 // across N daemons: each request body is routed to its owning peer by
 // rendezvous hash of the body's sha256 digest, so every re-post of a
@@ -94,6 +104,7 @@ func main() {
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		graphCache = flag.Int64("graph-cache-mb", 256, "parsed-graph cache budget in MiB (0 disables)")
 		scoreCache = flag.Int64("score-cache-mb", 128, "score-table cache budget in MiB (0 disables)")
+		graphDir   = flag.String("graphdir", "", "directory of <sha256>.bbg files to mmap instead of parsing matching request bodies")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (empty disables)")
 		peersFlag  = flag.String("peers", "", "comma-separated fleet membership (host:port,...); empty = single-node")
 		selfAddr   = flag.String("self", "", "this daemon's advertised address within -peers")
@@ -132,6 +143,7 @@ func main() {
 		maxBody:         *maxBody,
 		graphCacheBytes: *graphCache << 20,
 		scoreCacheBytes: *scoreCache << 20,
+		graphDir:        *graphDir,
 		fleet:           fl,
 		fault:           fault,
 		logf:            logger.Printf,

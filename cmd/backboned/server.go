@@ -5,18 +5,23 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/binfmt"
 	"repro/internal/cache"
 	"repro/internal/filter"
 	"repro/internal/fleet"
@@ -55,6 +60,10 @@ type serverConfig struct {
 	// caches; 0 disables one.
 	graphCacheBytes int64
 	scoreCacheBytes int64
+	// graphDir, when non-empty, names a directory of pre-converted
+	// <sha256>.bbg files (see backbone -convert -graphdir): a request
+	// body whose digest names one is memory-mapped, not parsed.
+	graphDir string
 	// fleet, when non-nil, routes each scoring request body to its
 	// owning peer by content digest and falls back to local execution
 	// when that peer cannot answer.
@@ -89,6 +98,19 @@ type server struct {
 	// content-addressed score cache (one per cached table).
 	evalRequests   atomic.Uint64
 	evalCacheSkips atomic.Uint64
+	// graphDir is the -graphdir root ("" disables the mmap fast path);
+	// mmapFiles memoizes one load attempt per body digest — mapped
+	// graphs are shared by every request for the life of the process
+	// and never closed, so handing them out without refcounting is safe.
+	graphDir  string
+	mmapMu    sync.Mutex
+	mmapFiles map[[sha256.Size]byte]*mmapEntry
+	// mmap fast-path counters: hits served a mapped graph, loads opened
+	// a file, misses found no (or a directedness-mismatched) file,
+	// errors hit an unreadable/corrupt one. sections/bytes gauge what
+	// the successful loads keep mapped.
+	mmapHits, mmapLoads, mmapMisses, mmapErrors atomic.Uint64
+	mmapSections, mmapBytes                     atomic.Int64
 	// fleet is nil in single-node mode. fault is nil without -chaos.
 	fleet *fleet.Fleet
 	fault *resilient.Fault
@@ -109,16 +131,18 @@ func newServer(cfg serverConfig) *server {
 		cfg.logf = func(string, ...any) {}
 	}
 	s := &server{
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.workers),
-		timeout: cfg.timeout,
-		maxBody: cfg.maxBody,
-		logf:    cfg.logf,
-		graphs:  cache.New[graphKey, *repro.Graph](cfg.graphCacheBytes),
-		scores:  cache.New[scoreKey, *repro.Scores](cfg.scoreCacheBytes),
-		fleet:   cfg.fleet,
-		fault:   cfg.fault,
-		start:   time.Now(),
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.workers),
+		timeout:   cfg.timeout,
+		maxBody:   cfg.maxBody,
+		logf:      cfg.logf,
+		graphs:    cache.New[graphKey, *repro.Graph](cfg.graphCacheBytes),
+		scores:    cache.New[scoreKey, *repro.Scores](cfg.scoreCacheBytes),
+		graphDir:  cfg.graphDir,
+		mmapFiles: map[[sha256.Size]byte]*mmapEntry{},
+		fleet:     cfg.fleet,
+		fault:     cfg.fault,
+		start:     time.Now(),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -398,6 +422,70 @@ func buildEnvelopeGraph(env *envelope, directed bool) (*repro.Graph, error) {
 	return b.Build(), nil
 }
 
+// mmapEntry memoizes one -graphdir load attempt for one body digest.
+// The File reference keeps the mapping's owner reachable; the daemon
+// never closes it (mapped graphs are shared across requests for the
+// life of the process, and clean mapped pages are the kernel's to
+// reclaim).
+type mmapEntry struct {
+	once sync.Once
+	file *binfmt.File
+	g    *repro.Graph
+}
+
+// mmapGraph resolves a request-body digest against -graphdir: when
+// <dir>/<hex-digest>.bbg exists and its directedness matches the
+// request, the memory-mapped graph is returned and the body is never
+// parsed. Each digest loads at most once, concurrent first requests
+// included. A missing file is forgotten so a conversion that lands
+// later is picked up; an unreadable or corrupt file is remembered as
+// failed, and either way the caller falls back to parsing the body it
+// already holds — -graphdir is an accelerator, never a correctness
+// dependency.
+func (s *server) mmapGraph(sum [sha256.Size]byte, directed bool) *repro.Graph {
+	if s.graphDir == "" {
+		return nil
+	}
+	s.mmapMu.Lock()
+	e, ok := s.mmapFiles[sum]
+	if !ok {
+		e = &mmapEntry{}
+		s.mmapFiles[sum] = e
+	}
+	s.mmapMu.Unlock()
+	e.once.Do(func() {
+		path := filepath.Join(s.graphDir, hex.EncodeToString(sum[:])+".bbg")
+		f, err := binfmt.Open(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				s.mmapMisses.Add(1)
+				s.mmapMu.Lock()
+				delete(s.mmapFiles, sum)
+				s.mmapMu.Unlock()
+				return
+			}
+			s.mmapErrors.Add(1)
+			s.logf("graphdir: %v (parsing the body instead)", err)
+			return
+		}
+		e.file, e.g = f, f.Graph()
+		s.mmapLoads.Add(1)
+		s.mmapSections.Add(int64(f.Sections()))
+		s.mmapBytes.Add(f.MappedBytes())
+	})
+	if e.g == nil {
+		return nil
+	}
+	if e.g.Directed() != directed {
+		// The file header records how the graph was converted; a request
+		// asking for the other orientation parses the body as usual.
+		s.mmapMisses.Add(1)
+		return nil
+	}
+	s.mmapHits.Add(1)
+	return e.g
+}
+
 // resolveGraph turns a fully read request body into a parsed graph
 // through the content-addressed cache: identical bodies parse once,
 // concurrent identical bodies parse once between them. It handles both
@@ -457,6 +545,12 @@ func (s *server) resolveGraph(ctx context.Context, r *http.Request, body []byte)
 		mode = f.Name
 	}
 	gkey = graphKey{sum: sha256.Sum256(body), mode: mode, directed: directed}
+	// -graphdir fast path: a pre-converted binary twin of this body is
+	// memory-mapped instead of parsed (and instead of occupying LRU
+	// budget — the mapping is shared and the page cache owns the bytes).
+	if mg := s.mmapGraph(gkey.sum, directed); mg != nil {
+		return mg, gkey, nil, outFormat, 0, nil
+	}
 	g, _, err = s.graphs.Do(ctx, gkey, func() (*repro.Graph, int64, error) {
 		g, err := repro.ReadGraph(bytes.NewReader(body), readOpts...)
 		if err != nil {
@@ -1032,6 +1126,16 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"requests":    s.evalRequests.Load(),
 			"cache_skips": s.evalCacheSkips.Load(),
 		},
+	}
+	if s.graphDir != "" {
+		out["mmap"] = map[string]any{
+			"hits":         s.mmapHits.Load(),
+			"misses":       s.mmapMisses.Load(),
+			"errors":       s.mmapErrors.Load(),
+			"graphs":       s.mmapLoads.Load(),
+			"sections":     s.mmapSections.Load(),
+			"mapped_bytes": s.mmapBytes.Load(),
+		}
 	}
 	if s.fleet != nil {
 		out["fleet"] = map[string]any{

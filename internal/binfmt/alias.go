@@ -1,0 +1,90 @@
+package binfmt
+
+// This file holds every unsafe construct in the binfmt package — it is
+// the package's entry in backbonevet's unsafezone allowlist, mirroring
+// the codec's byte<->string bridging in internal/graph/codec.go. All
+// three helpers express the same fact: on a little-endian host whose
+// Edge/Arc struct layout matches the on-disk record layout (verified
+// below at init, consulted everywhere as zeroCopy), a typed slice and
+// its byte serialization are the same memory, so serialization is a
+// view change rather than a copy. Callers guarantee lifetime (mapped
+// sections outlive the graphs aliasing them) and immutability (mapped
+// pages are PROT_READ; writer views are read-only).
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// zeroCopy reports whether typed arrays can alias their on-disk bytes
+// directly: the host must be little-endian and the record structs must
+// have exactly the on-disk field offsets (no padding surprises). When
+// false — big-endian or exotic ABI — every read and write transparently
+// takes the portable per-record path; only speed is lost.
+var zeroCopy = func() bool {
+	probe := []byte{0x01, 0x02, 0x03, 0x04}
+	if binary.NativeEndian.Uint32(probe) != binary.LittleEndian.Uint32(probe) {
+		return false
+	}
+	var e graph.Edge
+	var a graph.Arc
+	//lint:unsafezone-ok compile-time layout introspection only; Sizeof/Offsetof dereference nothing
+	edgeOK := unsafe.Sizeof(e) == recordSize && unsafe.Offsetof(e.Src) == 0 && unsafe.Offsetof(e.Dst) == 4 && unsafe.Offsetof(e.Weight) == 8
+	//lint:unsafezone-ok compile-time layout introspection only; Sizeof/Offsetof dereference nothing
+	arcOK := unsafe.Sizeof(a) == recordSize && unsafe.Offsetof(a.To) == 0 && unsafe.Offsetof(a.EdgeID) == 4 && unsafe.Offsetof(a.Weight) == 8
+	return edgeOK && arcOK
+}()
+
+// sliceBytes returns the backing bytes of a typed slice without
+// copying. Used by the writer (read-only view of graph arrays while
+// streaming them out) and by the copying reader (to memcpy file bytes
+// into a freshly allocated typed slice). Only called when zeroCopy
+// confirmed the layout, so the byte length is exactly len(s)*Sizeof(T).
+func sliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	var t T
+	//lint:unsafezone-ok same allocation reinterpreted at byte granularity; length covers exactly the slice's elements, and T (int32/uint64/float64/Edge/Arc) contains no pointers for the GC to lose
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(t)))
+}
+
+// aliasRecords views a mapped file section as a typed slice without
+// copying. The loader guarantees b is a whole multiple of Sizeof(T)
+// (checkTable pins exact section lengths) and naturally aligned
+// (sections sit at 64-byte offsets inside a page-aligned mapping,
+// re-checked by alignedTo below before any call).
+func aliasRecords[T any](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	var t T
+	//lint:unsafezone-ok bounds come from the mapping itself: the returned slice spans len(b)/Sizeof(T) records inside b, alignment is pre-checked by alignedTo, and T contains no pointers
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/int(unsafe.Sizeof(t)))
+}
+
+// alignedTo reports whether b's first byte sits on an a-byte boundary.
+// Defense in depth for aliasRecords: with a page-aligned mapping and
+// 64-byte section offsets this cannot fail, but a false return turns a
+// would-be unaligned alias into a typed load error instead of UB.
+func alignedTo(b []byte, a uintptr) bool {
+	if len(b) == 0 {
+		return true
+	}
+	//lint:unsafezone-ok pointer converted only to an integer for an alignment check; never dereferenced or converted back
+	return uintptr(unsafe.Pointer(&b[0]))%a == 0
+}
+
+// arenaString views one label's bytes in the arena as a string without
+// copying — mapped labels share the file's pages and stream-read
+// labels share their section buffer instead of duplicating either on
+// the heap.
+func arenaString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	//lint:unsafezone-ok strings are immutable views and both arenas outlive the graph and are never written again (a PROT_READ mapping under the File.Close contract, or a private section buffer); identical to the codec's bstr bridging
+	return unsafe.String(&b[0], len(b))
+}

@@ -1,0 +1,128 @@
+package binfmt_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/binfmt"
+)
+
+// benchCSV renders the same labeled Erdős–Rényi corpus (seed 11,
+// m = 1.5·n, "n%d" labels) as the graph package's csv ingest
+// benchmarks, so the load-vs-parse comparison in BENCH_baseline.json
+// is like for like.
+func benchCSV(m int) []byte {
+	n := m * 2 / 3
+	rng := rand.New(rand.NewSource(11))
+	var buf bytes.Buffer
+	buf.Grow(m * 24)
+	buf.WriteString("src,dst,weight\n")
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		fmt.Fprintf(&buf, "n%d,n%d,%.6g\n", u, v, 1+rng.Float64()*20)
+	}
+	return buf.Bytes()
+}
+
+type benchCorpus struct {
+	g   *repro.Graph
+	bbg []byte
+}
+
+var (
+	benchMu  sync.Mutex
+	benchMem = map[int]*benchCorpus{}
+)
+
+// corpus parses the m-edge csv corpus once per process and caches its
+// graph and binary encoding for every benchmark that needs them.
+func corpus(b *testing.B, m int) *benchCorpus {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if c, ok := benchMem[m]; ok {
+		return c
+	}
+	g, err := repro.ReadGraph(bytes.NewReader(benchCSV(m)), repro.WithDirected(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := binfmt.Write(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	c := &benchCorpus{g: g, bbg: buf.Bytes()}
+	benchMem[m] = c
+	return c
+}
+
+// benchLoad measures the full Open path — open, map, checksum and CSR
+// re-validation, Close — the daemon's cold-start cost per -graphdir
+// graph. Allocation count must stay flat across corpus sizes: the
+// arrays alias the mapping, never the heap.
+func benchLoad(b *testing.B, m int) {
+	c := corpus(b, m)
+	path := filepath.Join(b.TempDir(), "bench.bbg")
+	if err := os.WriteFile(path, c.bbg, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(c.bbg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := binfmt.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Graph().NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+		f.Close()
+	}
+}
+
+func BenchmarkLoadBBG100k(b *testing.B) { benchLoad(b, 100_000) }
+func BenchmarkLoadBBG1M(b *testing.B)   { benchLoad(b, 1_000_000) }
+
+// benchReadCopy measures the portable copying reader on in-memory
+// bytes — the path big-endian hosts and mmap-refusing filesystems get.
+func benchReadCopy(b *testing.B, m int) {
+	c := corpus(b, m)
+	b.SetBytes(int64(len(c.bbg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := binfmt.Read(bytes.NewReader(c.bbg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkReadBBG100k(b *testing.B) { benchReadCopy(b, 100_000) }
+func BenchmarkReadBBG1M(b *testing.B)   { benchReadCopy(b, 1_000_000) }
+
+func BenchmarkWriteBBG1M(b *testing.B) {
+	c := corpus(b, 1_000_000)
+	b.SetBytes(int64(len(c.bbg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := binfmt.Write(io.Discard, c.g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package binfmt implements the repository's binary graph container
+// (`.bbg`): the CSR arrays a graph.Graph already holds in memory,
+// written to disk little-endian with per-section checksums, so that
+// loading is an mmap plus validation instead of a parse.
+//
+// On-disk layout (version 1, all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "\x89BBG\r\n\x1a\n"
+//	8       4     version (1)
+//	12      4     flags: bit0 directed, bit1 labeled
+//	16      8     numNodes
+//	24      8     numEdges (canonical; undirected edges count once)
+//	32      8     total weight (IEEE-754 bits)
+//	40      8     reserved (0)
+//	48      4     section count
+//	52      4     reserved (0)
+//	56      24×k  section table: {id u32, reserved u32, offset u64, length u64}
+//	…       4     CRC-32C over everything above
+//
+// Each section's payload starts at the 64-byte-aligned offset recorded
+// in the table and is followed immediately by its own CRC-32C, then
+// zero padding to the next 64-byte boundary (the file ends padded
+// too, so its size is deterministic from the header). The section
+// sequence is fixed by the flags — edges, outOff, arcs, [inOff,
+// inArcs], outStrength, [inStrength], [labelOff, labelArena] — which
+// lets the writer stream without seeking and lets readers reject any
+// table that deviates from the canonical layout.
+//
+// Payloads are the graph's own array representations: Edge and Arc
+// records are 16 bytes ({int32, int32, float64}), offsets are the CSR
+// int32 arrays, strengths are float64 arrays, and labels are an
+// interned byte arena indexed by an (n+1)-entry uint64 prefix-sum
+// table. On little-endian hosts (every supported production target)
+// the in-memory and on-disk representations are bit-identical, so the
+// mmap loader aliases file sections directly as Graph slices and the
+// copying reader decodes with memcpy; big-endian hosts transparently
+// take a per-record portable path. Directedness is a property of the
+// file, not of the read request.
+package binfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Typed failure modes. Every malformed input surfaces as ErrCorrupt
+// (wrapped with detail); files written by a future incompatible
+// version surface as ErrUnsupported.
+var (
+	ErrCorrupt     = errors.New("binfmt: corrupt graph file")
+	ErrUnsupported = errors.New("binfmt: unsupported graph file version")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+const (
+	version    = 1
+	headerSize = 56
+	entrySize  = 24
+	align      = 64
+
+	flagDirected = 1 << 0
+	flagLabeled  = 1 << 1
+
+	recordSize  = 16 // Edge and Arc records
+	offsetSize  = 4  // CSR offsets (int32)
+	weightSize  = 8  // strengths (float64)
+	labelOffLen = 8  // label arena offsets (uint64)
+
+	// maxArena bounds the label arena a header may claim, keeping
+	// offset arithmetic far from uint64 overflow on hostile input.
+	maxArena = 1 << 48
+)
+
+// magic opens every .bbg file. Modeled on the PNG signature: the high
+// bit catches 7-bit transports, "\r\n" catches newline translation,
+// 0x1a stops accidental terminal cats. The early "\n" also makes the
+// text sniffers' first "line" the non-tab, non-brace "\x89BBG", so no
+// registered text format can claim a binary file.
+const magic = "\x89BBG\r\n\x1a\n"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Section IDs in canonical file order.
+const (
+	secEdges uint32 = iota + 1
+	secOutOff
+	secArcs
+	secInOff
+	secInArcs
+	secOutStrength
+	secInStrength
+	secLabelOff
+	secLabelArena
+)
+
+func secName(id uint32) string {
+	switch id {
+	case secEdges:
+		return "edges"
+	case secOutOff:
+		return "outOff"
+	case secArcs:
+		return "arcs"
+	case secInOff:
+		return "inOff"
+	case secInArcs:
+		return "inArcs"
+	case secOutStrength:
+		return "outStrength"
+	case secInStrength:
+		return "inStrength"
+	case secLabelOff:
+		return "labelOff"
+	case secLabelArena:
+		return "labelArena"
+	}
+	return fmt.Sprintf("section#%d", id)
+}
+
+// header is the decoded fixed-size file prefix.
+type header struct {
+	directed bool
+	labeled  bool
+	numNodes int
+	numEdges int
+	total    float64
+}
+
+// arcCount returns the length of the flat out-arc array: one arc per
+// direction, so undirected edges appear twice.
+func (h header) arcCount() int {
+	if h.directed {
+		return h.numEdges
+	}
+	return 2 * h.numEdges
+}
+
+// section is one decoded table entry.
+type section struct {
+	id          uint32
+	off, length uint64
+}
+
+// parseHeader validates the 56-byte fixed prefix and returns the
+// decoded header plus the section count. Every limit that later sizes
+// an allocation or an offset computation is enforced here.
+func parseHeader(b []byte) (header, int, error) {
+	var h header
+	if len(b) < headerSize {
+		return h, 0, corruptf("short header: %d bytes", len(b))
+	}
+	if string(b[:8]) != magic {
+		return h, 0, corruptf("bad magic %q", b[:8])
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != version {
+		return h, 0, fmt.Errorf("%w: file version %d, this build reads version %d", ErrUnsupported, v, version)
+	}
+	flags := binary.LittleEndian.Uint32(b[12:])
+	if flags&^uint32(flagDirected|flagLabeled) != 0 {
+		return h, 0, corruptf("unknown flag bits %#x", flags)
+	}
+	h.directed = flags&flagDirected != 0
+	h.labeled = flags&flagLabeled != 0
+	nodes := binary.LittleEndian.Uint64(b[16:])
+	edges := binary.LittleEndian.Uint64(b[24:])
+	if nodes > math.MaxInt32 {
+		return h, 0, corruptf("node count %d exceeds int32 ID space", nodes)
+	}
+	maxEdges := uint64(math.MaxInt32)
+	if !h.directed {
+		maxEdges /= 2 // undirected edges take two int32-indexed arc slots
+	}
+	if edges > maxEdges {
+		return h, 0, corruptf("edge count %d exceeds int32 offset space", edges)
+	}
+	h.numNodes = int(nodes)
+	h.numEdges = int(edges)
+	h.total = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
+	if binary.LittleEndian.Uint64(b[40:]) != 0 || binary.LittleEndian.Uint32(b[52:]) != 0 {
+		return h, 0, corruptf("reserved header bytes not zero")
+	}
+	count := int(binary.LittleEndian.Uint32(b[48:]))
+	if count < 3 || count > 9 {
+		return h, 0, corruptf("section count %d outside [3,9]", count)
+	}
+	return h, count, nil
+}
+
+// metaLen returns the byte length of header + section table + its CRC.
+func metaLen(count int) int { return headerSize + count*entrySize + 4 }
+
+// decodeTable decodes count raw table entries (reserved words checked).
+func decodeTable(b []byte, count int) ([]section, error) {
+	secs := make([]section, count)
+	for i := range secs {
+		e := b[i*entrySize:]
+		secs[i] = section{
+			id:     binary.LittleEndian.Uint32(e),
+			off:    binary.LittleEndian.Uint64(e[8:]),
+			length: binary.LittleEndian.Uint64(e[16:]),
+		}
+		if binary.LittleEndian.Uint32(e[4:]) != 0 {
+			return nil, corruptf("section %s: reserved table bytes not zero", secName(secs[i].id))
+		}
+	}
+	return secs, nil
+}
+
+// expectedLayout returns the section sequence the flags imply, with
+// exact payload lengths (the label arena's, unknowable from the
+// header, is returned as the sentinel lenVariable).
+const lenVariable = ^uint64(0)
+
+func expectedLayout(h header) []section {
+	n, m := uint64(h.numNodes), uint64(h.numEdges)
+	secs := []section{
+		{id: secEdges, length: m * recordSize},
+		{id: secOutOff, length: (n + 1) * offsetSize},
+		{id: secArcs, length: uint64(h.arcCount()) * recordSize},
+	}
+	if h.directed {
+		secs = append(secs,
+			section{id: secInOff, length: (n + 1) * offsetSize},
+			section{id: secInArcs, length: m * recordSize})
+	}
+	secs = append(secs, section{id: secOutStrength, length: n * weightSize})
+	if h.directed {
+		secs = append(secs, section{id: secInStrength, length: n * weightSize})
+	}
+	if h.labeled {
+		secs = append(secs,
+			section{id: secLabelOff, length: (n + 1) * labelOffLen},
+			section{id: secLabelArena, length: lenVariable})
+	}
+	return secs
+}
+
+func alignUp(x uint64) uint64 { return (x + align - 1) &^ (align - 1) }
+
+// checkTable verifies a decoded section table against the canonical
+// layout: the exact ID sequence the flags imply, the exact lengths the
+// node/edge counts imply, and the exact offsets the streaming writer
+// would have produced. Anything else is corruption — version 1 has one
+// valid layout per header, which is what makes writes deterministic
+// and lets readers trust offset arithmetic after this check.
+func checkTable(h header, secs []section) error {
+	want := expectedLayout(h)
+	if len(secs) != len(want) {
+		return corruptf("%d sections, layout implies %d", len(secs), len(want))
+	}
+	off := alignUp(uint64(metaLen(len(want))))
+	for i, w := range want {
+		got := secs[i]
+		if got.id != w.id {
+			return corruptf("section %d is %s, want %s", i, secName(got.id), secName(w.id))
+		}
+		if w.length != lenVariable && got.length != w.length {
+			return corruptf("section %s: length %d, want %d", secName(w.id), got.length, w.length)
+		}
+		if w.length == lenVariable && got.length > maxArena {
+			return corruptf("section %s: length %d exceeds limit", secName(w.id), got.length)
+		}
+		if got.off != off {
+			return corruptf("section %s: offset %d, want %d", secName(w.id), got.off, off)
+		}
+		off = alignUp(off + got.length + 4)
+	}
+	return nil
+}
+
+// fileSize returns the total (padded) file size implied by a validated
+// section table.
+func fileSize(count int, secs []section) uint64 {
+	if len(secs) == 0 {
+		return alignUp(uint64(metaLen(count)))
+	}
+	last := secs[len(secs)-1]
+	return alignUp(last.off + last.length + 4)
+}

@@ -1,0 +1,191 @@
+package binfmt_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/binfmt"
+)
+
+// typedOrNil asserts the malformed-input contract: a reader either
+// succeeds or fails with an error wrapping one of the package's typed
+// sentinels — never a panic, never an untyped error.
+func typedOrNil(t *testing.T, what string, err error) {
+	t.Helper()
+	if err != nil && !errors.Is(err, binfmt.ErrCorrupt) && !errors.Is(err, binfmt.ErrUnsupported) {
+		t.Fatalf("%s: untyped error %v", what, err)
+	}
+}
+
+// TestTruncations: every proper prefix of a valid file must fail with
+// a typed error — except prefixes that only cut the final zero
+// padding, which the stream reader (correctly) never needs and must
+// then still decode to the bit-identical graph. The mmap loader pins
+// the exact padded file size, so it must reject every truncation.
+func TestTruncations(t *testing.T) {
+	g := randomGraph(t, 3, 12, 40, true)
+	data := writeBBG(t, g)
+	orig, err := binfmt.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for cut := 0; cut < len(data); cut += 7 {
+		if got, err := binfmt.Read(bytes.NewReader(data[:cut])); err == nil {
+			mustIdentical(t, "truncation inside final padding (copy)", orig, got)
+		} else {
+			typedOrNil(t, "truncated copy read", err)
+		}
+		// The unsized path takes the chunked-growth branch.
+		if got, err := binfmt.Read(onlyReader{bytes.NewReader(data[:cut])}); err == nil {
+			mustIdentical(t, "truncation inside final padding (unsized)", orig, got)
+		}
+		path := filepath.Join(dir, "t.bbg")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := binfmt.Open(path)
+		if err == nil {
+			f.Close()
+			t.Fatalf("mmap loader accepted %d/%d-byte truncation", cut, len(data))
+		}
+		typedOrNil(t, "truncated mmap open", err)
+	}
+}
+
+// TestBitFlips flips one bit in every byte of a small valid file. The
+// contract: each flip either fails typed, or — when it lands in
+// padding or another byte no checksum covers that cannot affect the
+// result — loads a graph bit-identical to the original.
+func TestBitFlips(t *testing.T) {
+	g := randomGraph(t, 5, 8, 24, false)
+	data := writeBBG(t, g)
+	orig, err := binfmt.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 1 << (i % 8)
+
+		got, err := binfmt.Read(bytes.NewReader(mut))
+		if err != nil {
+			typedOrNil(t, "bit-flipped copy read", err)
+		} else {
+			mustIdentical(t, "bit flip in uncovered padding (copy)", orig, got)
+		}
+
+		path := filepath.Join(dir, "f.bbg")
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := binfmt.Open(path)
+		if err != nil {
+			typedOrNil(t, "bit-flipped mmap open", err)
+			continue
+		}
+		mustIdentical(t, "bit flip in uncovered padding (mmap)", orig, f.Graph())
+		f.Close()
+	}
+}
+
+// TestHostileHeaders: crafted headers that lie about sizes must fail
+// typed without huge allocations (the reader bounds every allocation
+// by the actual input size).
+func TestHostileHeaders(t *testing.T) {
+	valid := writeBBG(t, randomGraph(t, 1, 6, 12, false))
+
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), valid...)
+		f(b)
+		if _, err := binfmt.Read(bytes.NewReader(b)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		} else {
+			typedOrNil(t, name, err)
+		}
+		// And through the unsized path, where Len() cannot bound it.
+		if _, err := binfmt.Read(onlyReader{bytes.NewReader(b)}); err == nil {
+			t.Fatalf("%s (unsized): accepted", name)
+		}
+	}
+
+	mutate("absurd node count", func(b []byte) {
+		for i := 16; i < 24; i++ {
+			b[i] = 0xff
+		}
+	})
+	mutate("absurd edge count", func(b []byte) {
+		for i := 24; i < 32; i++ {
+			b[i] = 0x7f
+		}
+	})
+	mutate("future version", func(b []byte) { b[8] = 99 })
+	mutate("unknown flags", func(b []byte) { b[12] |= 0x80 })
+	mutate("zero magic", func(b []byte) { b[0] = 0 })
+	mutate("section count 0", func(b []byte) { b[48] = 0 })
+	mutate("section count over max", func(b []byte) { b[48] = 200 })
+}
+
+// TestErrorTexts pins the wrapped sentinel so daemon/CLI callers can
+// branch with errors.Is.
+func TestErrorTexts(t *testing.T) {
+	_, err := binfmt.Read(bytes.NewReader([]byte("src,dst,weight\na,b,1\n")))
+	if !errors.Is(err, binfmt.ErrCorrupt) {
+		t.Fatalf("csv bytes: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := binfmt.Open(filepath.Join(t.TempDir(), "missing.bbg")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.bbg")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binfmt.Open(empty); !errors.Is(err, binfmt.ErrCorrupt) {
+		t.Fatalf("empty file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestNoSilentPartialGraphs: a file whose strengths section checksum
+// is valid but whose CSR arrays are internally inconsistent (crafted,
+// not random) must be rejected by the FromCSR validation layer.
+func TestCraftedInconsistentCSR(t *testing.T) {
+	g := randomGraph(t, 9, 10, 30, false)
+	data := writeBBG(t, g)
+	if g.NumEdges() < 2 {
+		t.Skip("need edges")
+	}
+	// Parse the section table to find the arcs payload, corrupt one
+	// arc's EdgeID, and re-stamp that section's CRC so the corruption
+	// is only catchable by structural validation.
+	// Section table entry 3 (arcs) lives at 56 + 2*24.
+	off := int(le64(data[56+2*24+8:]))
+	length := int(le64(data[56+2*24+16:]))
+	mut := append([]byte(nil), data...)
+	// Arc records are {To u32, EdgeID u32, Weight f64}: point EdgeID 0
+	// at a different (valid) edge so every per-field bound still holds.
+	mut[off+4] ^= 1
+	restamp(mut, off, length)
+	if _, err := binfmt.Read(bytes.NewReader(mut)); !errors.Is(err, binfmt.ErrCorrupt) {
+		t.Fatalf("inconsistent arc accepted: %v", err)
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// restamp recomputes a section's trailing CRC-32C after mutation.
+func restamp(data []byte, off, length int) {
+	crc := crc32.Checksum(data[off:off+length], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[off+length:], crc)
+}

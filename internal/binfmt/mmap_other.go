@@ -1,0 +1,16 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package binfmt
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("binfmt: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package binfmt
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: mapped pages
+// come straight from (and stay in) the OS page cache, so N processes
+// serving the same graph file share one physical copy. PROT_READ also
+// turns any accidental write through an aliased slice into a fault
+// instead of silent file corruption.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

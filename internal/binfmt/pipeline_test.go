@@ -1,0 +1,149 @@
+package binfmt_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/binfmt"
+)
+
+// TestPipelinesBitIdentical is the PR's acceptance property: a graph
+// loaded from .bbg — through the copying reader AND the mmap loader —
+// must drive every registered method's full pipeline to a backbone
+// bit-identical to the one computed from the text-parsed graph. This
+// is what lets the daemon substitute an mmap for a parse without any
+// behavioural difference.
+func TestPipelinesBitIdentical(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		// Moderate integer weights: every method (including the
+		// Sinkhorn-Knopp iteration behind ds) must converge, so the
+		// comparison covers the full registry.
+		src := pipelineGraph(t, 21+boolSeed(directed), directed)
+
+		// Reference: the graph as the daemon would parse it from text.
+		var txt bytes.Buffer
+		if err := repro.WriteGraph(&txt, src, repro.WithFormat("ndjson")); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := repro.ReadGraph(bytes.NewReader(txt.Bytes()), repro.WithDirected(directed))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Same graph through the binary container: write the PARSED
+		// graph (so node numbering matches ref) and load it both ways.
+		data := writeBBG(t, ref)
+		copied, err := binfmt.Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped := openTemp(t, data).Graph()
+
+		ran := 0
+		for _, m := range repro.Methods() {
+			want, werr := repro.Backbone(ref, repro.WithMethod(m.Name))
+			for name, g := range map[string]*repro.Graph{"copy": copied, "mmap": mapped} {
+				got, err := repro.Backbone(g, repro.WithMethod(m.Name))
+				if werr != nil {
+					// Error parity: a method that cannot run on this
+					// graph must fail identically however it was loaded.
+					if err == nil || err.Error() != werr.Error() {
+						t.Fatalf("%s/%s: err = %v, text-parsed err = %v", m.Name, name, err, werr)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s on %s-loaded graph: %v", m.Name, name, err)
+				}
+				ran++
+				we, ge := want.Backbone.Edges(), got.Backbone.Edges()
+				if len(we) != len(ge) {
+					t.Fatalf("%s/%s: %d edges, want %d", m.Name, name, len(ge), len(we))
+				}
+				for i := range we {
+					if we[i].Src != ge[i].Src || we[i].Dst != ge[i].Dst ||
+						math.Float64bits(we[i].Weight) != math.Float64bits(ge[i].Weight) {
+						t.Fatalf("%s/%s: edge %d = %+v, want %+v", m.Name, name, i, ge[i], we[i])
+					}
+				}
+				if want.NodeCoverage != got.NodeCoverage || want.EdgeCoverage != got.EdgeCoverage {
+					t.Fatalf("%s/%s: coverage (%v,%v), want (%v,%v)",
+						m.Name, name, got.NodeCoverage, got.EdgeCoverage, want.NodeCoverage, want.EdgeCoverage)
+				}
+			}
+		}
+		if minRan := 2 * (len(repro.Methods()) - 1); ran < minRan {
+			t.Fatalf("only %d method/load combinations ran successfully, want >= %d", ran, minRan)
+		}
+	}
+}
+
+func boolSeed(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// pipelineGraph is randomGraph with count-like weights (the paper's
+// data shape) so iterative scorers converge.
+func pipelineGraph(t testing.TB, seed int64, directed bool) *repro.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := repro.NewBuilder(directed)
+	// Dense on purpose: the Sinkhorn-Knopp iteration behind ds only
+	// converges on matrices with enough support.
+	const n, m = 20, 500
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("node-%d", i))
+	}
+	// A base cycle keeps every node's in- and out-strength positive,
+	// which the doubly-stochastic method requires on directed input.
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(i, (i+1)%n, float64(1+rng.Intn(5)))
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, float64(1+rng.Intn(30)))
+	}
+	return b.Build()
+}
+
+// TestRegistryIntegration: the bbg format must be a full registry
+// citizen — sniffed from content, resolved from extensions, gzip
+// transparent, listed in FormatsTable.
+func TestRegistryIntegration(t *testing.T) {
+	g := randomGraph(t, 11, 15, 50, false)
+	data := writeBBG(t, g)
+
+	sniffed, err := repro.ReadGraph(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("sniffed read: %v", err)
+	}
+	mustIdentical(t, "sniffed", g, sniffed)
+
+	var gz bytes.Buffer
+	if err := repro.WriteGraph(&gz, g, repro.WithFormat("bbg"), repro.WithGzip()); err != nil {
+		t.Fatal(err)
+	}
+	unz, err := repro.ReadGraph(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatalf("gzipped read: %v", err)
+	}
+	mustIdentical(t, "gzipped", g, unz)
+
+	f, err := repro.LookupFormat("edges.bbg")
+	if err != nil || f.Name != "bbg" {
+		t.Fatalf("LookupFormat(edges.bbg) = %v, %v", f, err)
+	}
+	if table := repro.FormatsTable(); !bytes.Contains([]byte(table), []byte("`bbg`")) {
+		t.Fatalf("FormatsTable missing bbg:\n%s", table)
+	}
+}

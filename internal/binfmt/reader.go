@@ -1,0 +1,260 @@
+package binfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// src tracks position and (when the caller knows it) remaining input
+// size while decoding a stream. A known size lets a truncated or
+// size-lying file fail before any allocation; an unknown size falls
+// back to chunked growth so a hostile header can never force an
+// allocation larger than what the stream actually delivers.
+type src struct {
+	r   io.Reader
+	rem int64 // bytes remaining, or -1 if unknown
+	pos uint64
+}
+
+func (s *src) full(b []byte) error {
+	if s.rem >= 0 && int64(len(b)) > s.rem {
+		return corruptf("truncated at offset %d: need %d bytes, %d left", s.pos, len(b), s.rem)
+	}
+	n, err := io.ReadFull(s.r, b)
+	s.pos += uint64(n)
+	if s.rem >= 0 {
+		s.rem -= int64(n)
+	}
+	if err != nil {
+		return corruptf("truncated at offset %d: %v", s.pos, err)
+	}
+	return nil
+}
+
+// skip consumes inter-section padding. checkTable pins section offsets
+// exactly, so gaps are always shorter than one alignment unit.
+func (s *src) skip(n uint64) error {
+	if n >= align {
+		return corruptf("internal: %d-byte gap at offset %d", n, s.pos)
+	}
+	var pad [align]byte
+	return s.full(pad[:n])
+}
+
+// section reads one payload of the declared length. With a known
+// remaining size the buffer is allocated exactly; otherwise it grows
+// in bounded chunks so the allocation never outruns the actual data.
+func (s *src) section(length uint64) ([]byte, error) {
+	const chunk = 4 << 20
+	if s.rem >= 0 {
+		if int64(length)+4 > s.rem { // +4: the trailing CRC must exist too
+			return nil, corruptf("truncated at offset %d: section of %d bytes, %d left", s.pos, length, s.rem)
+		}
+		b := make([]byte, length)
+		return b, s.full(b)
+	}
+	var b []byte
+	for uint64(len(b)) < length {
+		k := min(chunk, length-uint64(len(b)))
+		b = slices.Grow(b, int(k))[:uint64(len(b))+k]
+		if err := s.full(b[uint64(len(b))-k:]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Read decodes a .bbg stream into a Graph, copying every array out of
+// the stream (the portable counterpart to the mmap loader in open.go;
+// this is what the format registry calls when a .bbg body arrives over
+// HTTP or through ReadGraph). Directedness comes from the file's
+// header. Every malformed input — truncation, checksum mismatch,
+// layout or CSR-invariant violation — returns an error wrapping
+// ErrCorrupt (or ErrUnsupported for future versions); no partial
+// graph is ever returned.
+func Read(r io.Reader) (*graph.Graph, error) {
+	rem := int64(-1)
+	if l, ok := r.(interface{ Len() int }); ok {
+		rem = int64(l.Len())
+	}
+	return read(r, rem)
+}
+
+func read(r io.Reader, rem int64) (*graph.Graph, error) {
+	s := &src{r: r, rem: rem}
+	head := make([]byte, headerSize)
+	if err := s.full(head); err != nil {
+		return nil, err
+	}
+	h, count, err := parseHeader(head)
+	if err != nil {
+		return nil, err
+	}
+	meta := append(head, make([]byte, metaLen(count)-headerSize)...)
+	if err := s.full(meta[headerSize:]); err != nil {
+		return nil, err
+	}
+	if got, want := crc32.Checksum(meta[:len(meta)-4], castagnoli), binary.LittleEndian.Uint32(meta[len(meta)-4:]); got != want {
+		return nil, corruptf("header checksum mismatch (%08x != %08x)", got, want)
+	}
+	secs, err := decodeTable(meta[headerSize:len(meta)-4], count)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkTable(h, secs); err != nil {
+		return nil, err
+	}
+
+	payload := make(map[uint32][]byte, len(secs))
+	for _, sec := range secs {
+		if err := s.skip(sec.off - s.pos); err != nil {
+			return nil, err
+		}
+		b, err := s.section(sec.length)
+		if err != nil {
+			return nil, err
+		}
+		var crc [4]byte
+		if err := s.full(crc[:]); err != nil {
+			return nil, err
+		}
+		if got, want := crc32.Checksum(b, castagnoli), binary.LittleEndian.Uint32(crc[:]); got != want {
+			return nil, corruptf("section %s checksum mismatch (%08x != %08x)", secName(sec.id), got, want)
+		}
+		payload[sec.id] = b
+	}
+	// Trailing padding is not read: streams may carry further data
+	// (e.g. a reader handed a larger buffer), and nothing after the
+	// last checksum affects the graph.
+
+	parts := graph.CSRParts{
+		Directed:    h.directed,
+		NumNodes:    h.numNodes,
+		Edges:       decodeEdges(payload[secEdges]),
+		Arcs:        decodeArcs(payload[secArcs]),
+		OutOff:      decodeInt32s(payload[secOutOff]),
+		OutStrength: decodeFloat64s(payload[secOutStrength]),
+		Total:       h.total,
+	}
+	if h.directed {
+		parts.InArcs = decodeArcs(payload[secInArcs])
+		parts.InOff = decodeInt32s(payload[secInOff])
+		parts.InStrength = decodeFloat64s(payload[secInStrength])
+	}
+	if h.labeled {
+		labels, err := decodeLabels(h.numNodes, decodeUint64s(payload[secLabelOff]), payload[secLabelArena])
+		if err != nil {
+			return nil, err
+		}
+		parts.Labels = labels
+	}
+	g, err := graph.FromCSR(parts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return g, nil
+}
+
+// decodeLabels materializes the per-node label slice from the offsets
+// table and arena. Label strings alias the arena rather than copying:
+// both callers own their arena exclusively and immutably for the life
+// of the graph (the mmap loader's PROT_READ pages, the stream reader's
+// freshly read section buffer), so n labels cost one []string
+// allocation instead of n string copies.
+func decodeLabels(n int, offs []uint64, arena []byte) ([]string, error) {
+	if offs[0] != 0 {
+		return nil, corruptf("labelOff[0] = %d, want 0", offs[0])
+	}
+	if offs[n] != uint64(len(arena)) {
+		return nil, corruptf("labelOff end %d, arena is %d bytes", offs[n], len(arena))
+	}
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		if offs[i+1] < offs[i] {
+			return nil, corruptf("labelOff not monotone at node %d", i)
+		}
+		labels[i] = arenaString(arena[offs[i]:offs[i+1]])
+	}
+	return labels, nil
+}
+
+// The decode* helpers turn a checksummed payload (whose length
+// checkTable already pinned to an exact multiple of the record size)
+// into a freshly allocated typed slice: one memcpy on little-endian
+// hosts, a per-record loop elsewhere.
+
+func decodeEdges(b []byte) []graph.Edge {
+	out := make([]graph.Edge, len(b)/recordSize)
+	if zeroCopy {
+		copy(sliceBytes(out), b)
+		return out
+	}
+	for i := range out {
+		r := b[i*recordSize:]
+		out[i] = graph.Edge{
+			Src:    int32(binary.LittleEndian.Uint32(r)),
+			Dst:    int32(binary.LittleEndian.Uint32(r[4:])),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(r[8:])),
+		}
+	}
+	return out
+}
+
+func decodeArcs(b []byte) []graph.Arc {
+	out := make([]graph.Arc, len(b)/recordSize)
+	if zeroCopy {
+		copy(sliceBytes(out), b)
+		return out
+	}
+	for i := range out {
+		r := b[i*recordSize:]
+		out[i] = graph.Arc{
+			To:     int32(binary.LittleEndian.Uint32(r)),
+			EdgeID: int32(binary.LittleEndian.Uint32(r[4:])),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(r[8:])),
+		}
+	}
+	return out
+}
+
+func decodeInt32s(b []byte) []int32 {
+	out := make([]int32, len(b)/offsetSize)
+	if zeroCopy {
+		copy(sliceBytes(out), b)
+		return out
+	}
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*offsetSize:]))
+	}
+	return out
+}
+
+func decodeFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/weightSize)
+	if zeroCopy {
+		copy(sliceBytes(out), b)
+		return out
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*weightSize:]))
+	}
+	return out
+}
+
+func decodeUint64s(b []byte) []uint64 {
+	out := make([]uint64, len(b)/labelOffLen)
+	if zeroCopy {
+		copy(sliceBytes(out), b)
+		return out
+	}
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*labelOffLen:])
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package binfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// crcWriter forwards writes while tracking the running CRC-32C and
+// byte count of the current section.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   uint64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+var zeroPad [align]byte
+
+func writeZeros(w io.Writer, n uint64) error {
+	for n > 0 {
+		k := min(n, align)
+		if _, err := w.Write(zeroPad[:k]); err != nil {
+			return err
+		}
+		n -= k
+	}
+	return nil
+}
+
+// emitSlice streams a typed array: a single zero-copy byte view on
+// little-endian hosts, a buffered per-element encode elsewhere.
+func emitSlice[T any](cw *crcWriter, s []T, size int, enc func([]byte, T)) error {
+	if zeroCopy {
+		_, err := cw.Write(sliceBytes(s))
+		return err
+	}
+	buf := make([]byte, 0, 64<<10)
+	for _, v := range s {
+		if len(buf)+size > cap(buf) {
+			if _, err := cw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+		buf = buf[:len(buf)+size]
+		enc(buf[len(buf)-size:], v)
+	}
+	_, err := cw.Write(buf)
+	return err
+}
+
+func encEdge(b []byte, e graph.Edge) {
+	binary.LittleEndian.PutUint32(b, uint32(e.Src))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.Dst))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.Weight))
+}
+
+func encArc(b []byte, a graph.Arc) {
+	binary.LittleEndian.PutUint32(b, uint32(a.To))
+	binary.LittleEndian.PutUint32(b[4:], uint32(a.EdgeID))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(a.Weight))
+}
+
+func encInt32(b []byte, v int32)     { binary.LittleEndian.PutUint32(b, uint32(v)) }
+func encUint64(b []byte, v uint64)   { binary.LittleEndian.PutUint64(b, v) }
+func encFloat64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+// emitArena streams the concatenated label bytes through a reusable
+// buffer (labels are short; per-label Write calls would re-CRC tiny
+// fragments and defeat the bufio batching).
+func emitArena(cw *crcWriter, labels []string, n int) error {
+	buf := make([]byte, 0, 64<<10)
+	for i := 0; i < n; i++ {
+		var l string
+		if i < len(labels) {
+			l = labels[i]
+		}
+		if len(buf)+len(l) > cap(buf) && len(buf) > 0 {
+			if _, err := cw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+		buf = append(buf, l...)
+	}
+	_, err := cw.Write(buf)
+	return err
+}
+
+type sectionEmit struct {
+	id     uint32
+	length uint64
+	emit   func(*crcWriter) error
+}
+
+// Write serializes g to w in .bbg form. The output is deterministic —
+// the same graph always produces the same bytes, so digest-addressed
+// stores (backboned -graphdir) stay stable — and is streamed without
+// seeking: section offsets are computed up front from the header, and
+// each section's checksum trails its payload.
+//
+//lint:ctxflow-ok sequential buffered serialization of already-built arrays, no scoring work; callers needing cancellation wrap w
+func Write(w io.Writer, g *graph.Graph) error {
+	view := g.CSRView()
+	edges := g.Edges()
+	labels := g.Labels()
+	n := g.NumNodes()
+	m := len(edges)
+	outOff := view.OutOff
+	if outOff == nil {
+		outOff = []int32{0} // zero-value Graph: no nodes, one boundary
+	}
+
+	labeled := false
+	for _, l := range labels {
+		if l != "" {
+			labeled = true
+			break
+		}
+	}
+	var labOff []uint64
+	if labeled {
+		labOff = make([]uint64, n+1)
+		for i := 0; i < n; i++ {
+			labOff[i+1] = labOff[i] + uint64(len(g.Label(i)))
+		}
+	}
+
+	flags := uint32(0)
+	if g.Directed() {
+		flags |= flagDirected
+	}
+	if labeled {
+		flags |= flagLabeled
+	}
+
+	specs := []sectionEmit{
+		{secEdges, uint64(m) * recordSize, func(cw *crcWriter) error {
+			return emitSlice(cw, edges, recordSize, encEdge)
+		}},
+		{secOutOff, uint64(len(outOff)) * offsetSize, func(cw *crcWriter) error {
+			return emitSlice(cw, outOff, offsetSize, encInt32)
+		}},
+		{secArcs, uint64(len(view.Arcs)) * recordSize, func(cw *crcWriter) error {
+			return emitSlice(cw, view.Arcs, recordSize, encArc)
+		}},
+	}
+	if g.Directed() {
+		specs = append(specs,
+			sectionEmit{secInOff, uint64(len(view.InOff)) * offsetSize, func(cw *crcWriter) error {
+				return emitSlice(cw, view.InOff, offsetSize, encInt32)
+			}},
+			sectionEmit{secInArcs, uint64(len(view.InArcs)) * recordSize, func(cw *crcWriter) error {
+				return emitSlice(cw, view.InArcs, recordSize, encArc)
+			}})
+	}
+	specs = append(specs, sectionEmit{secOutStrength, uint64(n) * weightSize, func(cw *crcWriter) error {
+		return emitSlice(cw, g.OutStrengths(), weightSize, encFloat64)
+	}})
+	if g.Directed() {
+		specs = append(specs, sectionEmit{secInStrength, uint64(n) * weightSize, func(cw *crcWriter) error {
+			return emitSlice(cw, g.InStrengths(), weightSize, encFloat64)
+		}})
+	}
+	if labeled {
+		specs = append(specs,
+			sectionEmit{secLabelOff, uint64(len(labOff)) * labelOffLen, func(cw *crcWriter) error {
+				return emitSlice(cw, labOff, labelOffLen, encUint64)
+			}},
+			sectionEmit{secLabelArena, labOff[n], func(cw *crcWriter) error {
+				return emitArena(cw, labels, n)
+			}})
+	}
+
+	// Header + section table, CRC'd together.
+	meta := make([]byte, metaLen(len(specs)))
+	copy(meta, magic)
+	binary.LittleEndian.PutUint32(meta[8:], version)
+	binary.LittleEndian.PutUint32(meta[12:], flags)
+	binary.LittleEndian.PutUint64(meta[16:], uint64(n))
+	binary.LittleEndian.PutUint64(meta[24:], uint64(m))
+	binary.LittleEndian.PutUint64(meta[32:], math.Float64bits(g.TotalWeight()))
+	binary.LittleEndian.PutUint32(meta[48:], uint32(len(specs)))
+	offs := make([]uint64, len(specs))
+	off := alignUp(uint64(len(meta)))
+	for i, sp := range specs {
+		e := meta[headerSize+i*entrySize:]
+		binary.LittleEndian.PutUint32(e, sp.id)
+		binary.LittleEndian.PutUint64(e[8:], off)
+		binary.LittleEndian.PutUint64(e[16:], sp.length)
+		offs[i] = off
+		off = alignUp(off + sp.length + 4)
+	}
+	end := off
+	binary.LittleEndian.PutUint32(meta[len(meta)-4:],
+		crc32.Checksum(meta[:len(meta)-4], castagnoli))
+
+	bw := bufio.NewWriterSize(w, 256<<10)
+	if _, err := bw.Write(meta); err != nil {
+		return err
+	}
+	pos := uint64(len(meta))
+	for i, sp := range specs {
+		if err := writeZeros(bw, offs[i]-pos); err != nil {
+			return err
+		}
+		cw := crcWriter{w: bw}
+		if err := sp.emit(&cw); err != nil {
+			return err
+		}
+		if cw.n != sp.length {
+			return fmt.Errorf("binfmt: internal error: section %s emitted %d bytes, declared %d", secName(sp.id), cw.n, sp.length)
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], cw.crc)
+		if _, err := bw.Write(crc[:]); err != nil {
+			return err
+		}
+		pos = offs[i] + sp.length + 4
+	}
+	if err := writeZeros(bw, end-pos); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -139,6 +139,18 @@ func FormatNames() []string {
 	return names
 }
 
+// writableFormatNames returns the names of formats that can serialize
+// graphs, in Formats order — the suggestion list for WriteGraph errors.
+func writableFormatNames() []string {
+	var names []string
+	for _, f := range Formats() {
+		if f.Write != nil {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
 // ReadOptions controls ReadGraph. The zero value sniffs the format and
 // builds an undirected graph.
 type ReadOptions struct {
@@ -252,10 +264,14 @@ func WriteGraph(w io.Writer, g *Graph, o WriteOptions) error {
 	}
 	f, err := LookupFormat(name)
 	if err != nil {
-		return err
+		// Re-wrap with the writable subset: "edges.xyz" failing with a
+		// list that names read-only formats would just misdirect.
+		return fmt.Errorf("graph: cannot write %w %q (writable formats: %s)",
+			ErrUnknownFormat, name, strings.Join(writableFormatNames(), ", "))
 	}
 	if f.Write == nil {
-		return fmt.Errorf("graph: format %q is read-only", f.Name)
+		return fmt.Errorf("graph: format %q is read-only (writable formats: %s)",
+			f.Name, strings.Join(writableFormatNames(), ", "))
 	}
 	if o.Gzip {
 		zw := gzip.NewWriter(w)

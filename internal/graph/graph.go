@@ -36,6 +36,11 @@ type Graph struct {
 	directed bool
 	labels   []string
 	index    map[string]int32
+	// lazy materializes the label->ID index on first NodeID call for
+	// graphs assembled by FromCSR (mmap-loaded files skip per-node
+	// hashing until a lookup needs it). Exactly one of index/lazy is
+	// consulted; see labelIndex in raw.go.
+	lazy *lazyIndex
 
 	edges []Edge
 
@@ -137,7 +142,7 @@ func (g *Graph) Labels() []string { return g.labels }
 
 // NodeID returns the node ID for a label, or -1 if unknown.
 func (g *Graph) NodeID(label string) int {
-	if id, ok := g.index[label]; ok {
+	if id, ok := g.labelIndex()[label]; ok {
 		return int(id)
 	}
 	return -1

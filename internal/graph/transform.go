@@ -30,6 +30,7 @@ func (g *Graph) Subgraph(keep []bool) *Graph {
 		directed: g.directed,
 		labels:   g.labels,
 		index:    g.index,
+		lazy:     g.lazy,
 		edges:    edges,
 	}
 	sub.buildCSR(g.NumNodes())
@@ -73,7 +74,7 @@ func (g *Graph) Undirected() *Graph {
 	b := NewBuilder(false)
 	b.labels = append([]string(nil), g.labels...)
 	//lint:detiter-ok copying into another map; insertion order is irrelevant
-	for l, id := range g.index {
+	for l, id := range g.labelIndex() {
 		b.index[l] = id
 	}
 	for _, e := range g.edges {
@@ -112,7 +113,7 @@ func AlignLabels(ref, g *Graph) *Graph {
 	b := NewBuilder(g.directed)
 	b.labels = append([]string(nil), ref.labels...)
 	//lint:detiter-ok copying into another map; insertion order is irrelevant
-	for l, id := range ref.index {
+	for l, id := range ref.labelIndex() {
 		b.index[l] = id
 	}
 	for _, e := range g.edges {

@@ -2,12 +2,14 @@
 // reflect.SliceHeader/StringHeader tricks) to an allowlisted file set
 // and requires an in-place justification at every use.
 //
-// The repository's policy is that unsafe exists for exactly one
-// purpose — the zero-alloc edge-list codec's byte↔string bridging —
-// so the allowlist is internal/graph/codec.go and internal/graph/io.go
-// (the -allow flag). Outside those files any use of unsafe is
-// reported, and the escape-hatch comment deliberately does NOT apply:
-// extending the unsafe surface means editing the allowlist in
+// The repository's policy is that unsafe exists for exactly two
+// purposes — the zero-alloc edge-list codec's byte↔string bridging
+// (internal/graph/{codec,io}.go) and the binary graph container's
+// slice↔byte aliasing for mmap loading and zero-copy serialization
+// (internal/binfmt/alias.go) — so the allowlist (the -allow flag) is
+// exactly those files. Outside them any use of unsafe is reported,
+// and the escape-hatch comment deliberately does NOT apply: extending
+// the unsafe surface means editing the allowlist in
 // internal/lint/unsafezone, which is what code review gates on.
 //
 // Inside an allowlisted file, every line that touches unsafe must
@@ -29,14 +31,15 @@ import (
 const directiveName = "unsafezone-ok"
 
 // allow lists the repo-relative files permitted to use unsafe.
-var allow = "internal/graph/codec.go,internal/graph/io.go"
+var allow = "internal/graph/codec.go,internal/graph/io.go,internal/binfmt/alias.go"
 
 var Analyzer = &analysis.Analyzer{
 	Name: "unsafezone",
-	Doc: "unsafe is confined to the codec allowlist and every use must be justified\n\n" +
+	Doc: "unsafe is confined to the codec/binfmt allowlist and every use must be justified\n\n" +
 		"Reports package unsafe and reflect.SliceHeader/StringHeader outside\n" +
-		"internal/graph/{codec,io}.go; inside the allowlist each use needs a\n" +
-		"//lint:unsafezone-ok <justification> comment.",
+		"internal/graph/{codec,io}.go and internal/binfmt/alias.go; inside\n" +
+		"the allowlist each use needs a //lint:unsafezone-ok <justification>\n" +
+		"comment.",
 	Run: run,
 }
 

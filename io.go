@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	_ "repro/internal/binfmt" // registers the binary .bbg graph format
 	"repro/internal/graph"
 )
 
