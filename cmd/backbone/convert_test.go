@@ -64,6 +64,72 @@ func TestCLIConvertGraphdir(t *testing.T) {
 	}
 }
 
+// TestAtomicCreateCommitAndAbort pins the crash-safe output contract:
+// writes land in a same-directory temp file; only commit publishes
+// them (fsync + rename over dst), and an aborted write leaves both the
+// old dst bytes and the directory listing untouched.
+func TestAtomicCreateCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bbg")
+	if err := os.WriteFile(dst, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _, abort, err := atomicCreate(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("torn"); err != nil {
+		t.Fatal(err)
+	}
+	abort()
+	if got, err := os.ReadFile(dst); err != nil || string(got) != "old" {
+		t.Fatalf("dst after abort = %q, %v; want old bytes intact", got, err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Fatalf("abort left temp residue: %v", entries)
+	}
+
+	f, commit, abort, err := atomicCreate(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	abort() // after commit this must be a no-op
+	if got, err := os.ReadFile(dst); err != nil || string(got) != "new" {
+		t.Fatalf("dst after commit = %q, %v; want new bytes", got, err)
+	}
+	if fi, err := os.Stat(dst); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("dst mode = %v, %v; want 0644", fi.Mode(), err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Fatalf("commit left temp residue: %v", entries)
+	}
+}
+
+// TestCLIConvertLeavesNoTempResidue: a successful -convert -graphdir
+// publishes exactly the digest-named file.
+func TestCLIConvertLeavesNoTempResidue(t *testing.T) {
+	in := writeTestCSV(t)
+	dir := filepath.Join(t.TempDir(), "graphs")
+	var stdout, stderr bytes.Buffer
+	if err := newApp().run([]string{"-convert", "-graphdir", dir, in}, nil, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasSuffix(entries[0].Name(), ".bbg") {
+		t.Fatalf("graphdir listing = %v, want exactly one .bbg", entries)
+	}
+}
+
 // TestCLIConvertStdin: stdin input has no path to derive a name from,
 // so -o (or -graphdir) is mandatory; with -o it converts normally.
 func TestCLIConvertStdin(t *testing.T) {

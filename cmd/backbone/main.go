@@ -349,13 +349,14 @@ func (a *app) runEval(g *repro.Graph, opts []repro.Option, format string, readOp
 	}
 
 	w := stdout
-	var outFile *os.File
+	var commit func() error
 	if *a.out != "" {
-		f, err := os.Create(*a.out)
+		f, c, abort, err := atomicCreate(*a.out)
 		if err != nil {
 			return err
 		}
-		outFile = f
+		defer abort()
+		commit = c
 		w = f
 	}
 	var writeErr error
@@ -369,12 +370,11 @@ func (a *app) runEval(g *repro.Graph, opts []repro.Option, format string, readOp
 		enc.SetIndent("", "  ")
 		writeErr = enc.Encode(rep)
 	}
-	if outFile != nil {
-		// Close errors matter here: a short write to a full disk must not
-		// exit 0 with a truncated report.
-		if err := outFile.Close(); writeErr == nil {
-			writeErr = err
-		}
+	if writeErr == nil && commit != nil {
+		// Sync/close errors matter here: a short write to a full disk
+		// must not exit 0 with a truncated report. A failed write never
+		// commits — the previous report, if any, survives intact.
+		writeErr = commit()
 	}
 	if writeErr != nil {
 		return fmt.Errorf("write report: %w", writeErr)
@@ -524,16 +524,16 @@ func (a *app) runConvert(stdin io.Reader, stderr io.Writer) error {
 		dst = strings.TrimSuffix(path, filepath.Ext(path)) + ".bbg"
 	}
 
-	f, err := os.Create(dst)
+	f, commit, abort, err := atomicCreate(dst)
 	if err != nil {
 		return err
 	}
+	defer abort()
 	writeErr := repro.WriteGraph(f, g, repro.WithFormat("bbg"))
-	if err := f.Close(); writeErr == nil {
-		writeErr = err
+	if writeErr == nil {
+		writeErr = commit()
 	}
 	if writeErr != nil {
-		os.Remove(dst) // don't leave a torn container behind
 		return fmt.Errorf("write %s: %w", dst, writeErr)
 	}
 	info, err := os.Stat(dst)
@@ -543,6 +543,46 @@ func (a *app) runConvert(stdin io.Reader, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "converted: %d nodes, %d edges -> %s (%d bytes)\n",
 		g.NumNodes(), g.NumEdges(), dst, info.Size())
 	return nil
+}
+
+// atomicCreate opens a temporary file next to dst for writing. commit
+// fsyncs, closes and atomically renames it over dst, so a crash, kill
+// or full disk mid-write never leaves a torn dst behind — readers
+// (including a backboned -graphdir daemon mapping the file while it is
+// replaced) see the old bytes or the new ones, nothing in between.
+// abort discards the temporary file; it is a no-op after a successful
+// commit, so callers just defer it.
+func atomicCreate(dst string) (f *os.File, commit func() error, abort func(), err error) {
+	dir, base := filepath.Split(dst)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	committed := false
+	commit = func() error {
+		if err := tmp.Sync(); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		// CreateTemp opens 0600; published outputs get the usual mode.
+		if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp.Name(), dst); err != nil {
+			return err
+		}
+		committed = true
+		return nil
+	}
+	abort = func() {
+		if !committed {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}
+	return tmp, commit, abort, nil
 }
 
 func paramNames(m *repro.Method) string {
@@ -644,12 +684,14 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 	}
 
 	w := stdout
+	var commit func() error
 	if *a.out != "" {
-		f, err := os.Create(*a.out)
+		f, c, abort, err := atomicCreate(*a.out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer abort()
+		commit = c
 		w = f
 	}
 	var writeOpts []repro.IOOption
@@ -670,6 +712,11 @@ func (a *app) run(args []string, stdin io.Reader, stdout, stderr io.Writer) erro
 	}
 	if err := repro.WriteGraph(w, res.Backbone, writeOpts...); err != nil {
 		return err
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return fmt.Errorf("write %s: %w", *a.out, err)
+		}
 	}
 	fmt.Fprintf(stderr, "input: %d nodes, %d edges; %s backbone: %d edges, %d non-isolated nodes (node coverage %.1f%%) in %v\n",
 		g.NumNodes(), g.NumEdges(), res.Method, res.Backbone.NumEdges(), res.Backbone.NumConnected(),

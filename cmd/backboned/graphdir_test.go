@@ -188,6 +188,60 @@ func TestGraphdirCorruptFileFallsBack(t *testing.T) {
 	}
 }
 
+// TestGraphdirCorruptFileHealsOnReconvert: a memoized load failure is
+// revalidated against the file's stat identity on later requests —
+// once `backbone -convert` rewrites the file in place (its size or
+// mtime moves), the next request retries the load and serves the
+// mapping without a daemon restart. An unchanged corrupt file must
+// stay one counted error, not one per request.
+func TestGraphdirCorruptFileHealsOnReconvert(t *testing.T) {
+	body := encodeGraph(t, testGraph(t, 80), "csv").Bytes()
+	_, ts, dir := newGraphdirServer(t)
+	path := convertBody(t, dir, body, false)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two requests against the unchanged corrupt file: one counted
+	// error, one stat-only revalidation.
+	for i := 0; i < 2; i++ {
+		if status, resp := postBackbone(t, ts.URL, body, "?method=nc"); status != http.StatusOK {
+			t.Fatalf("corrupt post %d: status %d: %s", i, status, resp)
+		}
+	}
+	if st := mmapStats(t, ts.URL); st["errors"] != 1 || st["graphs"] != 0 {
+		t.Fatalf("stats before heal: %v, want 1 error and 0 graphs", st)
+	}
+
+	// Heal in place. Bump the mtime explicitly so the identity change
+	// does not depend on filesystem timestamp granularity (the rewritten
+	// file has the same size).
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, healed, healed); err != nil {
+		t.Fatal(err)
+	}
+
+	if status, resp := postBackbone(t, ts.URL, body, "?method=nc"); status != http.StatusOK {
+		t.Fatalf("healed post: status %d: %s", status, resp)
+	}
+	st := mmapStats(t, ts.URL)
+	if st["graphs"] != 1 || st["hits"] != 1 {
+		t.Fatalf("stats after heal: %v, want the mapping loaded and hit", st)
+	}
+	if st["errors"] != 1 {
+		t.Fatalf("errors = %v after heal, want still exactly 1", st["errors"])
+	}
+}
+
 // TestGraphdirLateConversion: a digest with no file is a plain miss —
 // and must be re-probed later, so converting a hot graph while the
 // daemon runs starts paying off without a restart.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/admission"
 	"repro/internal/binfmt"
 	"repro/internal/cache"
 	"repro/internal/filter"
@@ -53,9 +54,17 @@ type scoreKey struct {
 
 // serverConfig bundles the daemon's run controls.
 type serverConfig struct {
-	workers int           // bounded worker pool slots
+	workers int           // hard concurrency cap (admission MaxConcurrent)
 	timeout time.Duration // per-request wall clock budget
 	maxBody int64
+	// staticAdmission pins the concurrency limit at workers instead of
+	// adapting it (-admission=static); lanes and deadline-aware
+	// admission still apply.
+	staticAdmission bool
+	// admissionCfg, when non-nil, overrides the derived admission
+	// config entirely (tests tune cooldowns, queues and clocks);
+	// MaxConcurrent defaults to workers if left zero.
+	admissionCfg *admission.Config
 	// graphCacheBytes / scoreCacheBytes bound the content-addressed
 	// caches; 0 disables one.
 	graphCacheBytes int64
@@ -81,11 +90,25 @@ type serverConfig struct {
 // status-code mapping, and the content-addressed caches that let
 // repeated identical bodies skip parsing and scoring.
 type server struct {
-	mux     *http.ServeMux
-	sem     chan struct{} // bounded worker pool for scoring requests
+	mux *http.ServeMux
+	// limiter is the adaptive, lane-aware worker-pool admission path
+	// (internal/admission): AIMD concurrency limit under the -workers
+	// hard cap, deadline-aware queueing, fast/cold priority lanes.
+	limiter *admission.Limiter
 	timeout time.Duration // per-request wall clock budget
 	maxBody int64
 	logf    func(format string, args ...any)
+	// Deadline accounting: expiredArrivals counts requests whose
+	// propagated budget (X-Backbone-Deadline) was already spent on
+	// arrival; expiredBeforeScoring counts scoring runs refused at the
+	// last gate because the deadline passed while queued or parsing —
+	// CPU the admission path saved. deadlineViolations counts scoring
+	// runs that would have *started* past their deadline without the
+	// gate noticing earlier; it is the runtime assertion the overload
+	// e2e consumes and must stay zero.
+	expiredArrivals      atomic.Uint64
+	expiredBeforeScoring atomic.Uint64
+	deadlineViolations   atomic.Uint64
 	// graphs memoizes parsed request bodies; scores memoizes per-method
 	// significance tables. Either may be nil (disabled) — the nil LRU
 	// computes without caching.
@@ -130,9 +153,22 @@ func newServer(cfg serverConfig) *server {
 	if cfg.logf == nil {
 		cfg.logf = func(string, ...any) {}
 	}
+	acfg := admission.Config{MaxConcurrent: cfg.workers, Adaptive: !cfg.staticAdmission}
+	if cfg.admissionCfg != nil {
+		acfg = *cfg.admissionCfg
+		if acfg.MaxConcurrent == 0 {
+			acfg.MaxConcurrent = cfg.workers
+		}
+	}
+	limiter, err := admission.NewLimiter(acfg)
+	if err != nil {
+		// Unreachable: workers is floored to 1 above and the override
+		// path fills MaxConcurrent; fail loud rather than serve unbounded.
+		panic(err)
+	}
 	s := &server{
 		mux:       http.NewServeMux(),
-		sem:       make(chan struct{}, cfg.workers),
+		limiter:   limiter,
 		timeout:   cfg.timeout,
 		maxBody:   cfg.maxBody,
 		logf:      cfg.logf,
@@ -224,7 +260,7 @@ GET  /methods            registered methods and their parameter schemas (JSON)
 GET  /formats            registered edge-list formats (JSON)
 GET  /healthz            liveness probe (200 until the process exits)
 GET  /readyz             routability probe (503 once SIGTERM drain begins)
-GET  /statsz             uptime, request, cache, evaluate and fleet counters (JSON)
+GET  /statsz             uptime, request, cache, admission and fleet counters (JSON)
 POST /backbone           extract a backbone from the edge list in the body
 POST /score              per-edge significance table for the body's edge list
 POST /evaluate           grade every method on the body's edge list (JSON report)
@@ -246,6 +282,15 @@ the same body with different method parameters (delta, alpha, top, ...)
 is always a hit: parameters move thresholds, never the score table.
 /evaluate reports "hit" when every method's table was cached — the
 whole comparison ran without scoring a single edge.
+
+Admission is adaptive (AIMD under the -workers hard cap) with two
+priority lanes: requests whose score tables are already cached take the
+fast lane; cold scoring queues behind a reserved-slot cold lane. A 503
+response carries a Retry-After computed from current queue depth and
+observed latency. Requests may carry X-Backbone-Deadline (remaining
+budget, integer milliseconds); an exhausted budget is refused with 504
+before any work runs, and fleet forwards re-stamp the header minus the
+estimated transit cost per attempt.
 
 In fleet mode (-peers/-self) each request body is routed to its owning
 peer by content digest; responses carry X-Backbone-Served-By (the peer
@@ -426,11 +471,19 @@ func buildEnvelopeGraph(env *envelope, directed bool) (*repro.Graph, error) {
 // The File reference keeps the mapping's owner reachable; the daemon
 // never closes it (mapped graphs are shared across requests for the
 // life of the process, and clean mapped pages are the kernel's to
-// reclaim).
+// reclaim). A failed load records the file's stat identity at failure
+// time so a later request can tell a healed file (re-converted in
+// place: size or mtime moved) from the same corrupt bytes.
 type mmapEntry struct {
-	once sync.Once
+	mu   sync.Mutex
 	file *binfmt.File
 	g    *repro.Graph
+	// failed marks a load that errored on an existing file; failSize /
+	// failTime are that file's stat identity when the load failed
+	// (failSize -1 when even stat failed).
+	failed   bool
+	failSize int64
+	failTime time.Time
 }
 
 // mmapGraph resolves a request-body digest against -graphdir: when
@@ -438,8 +491,12 @@ type mmapEntry struct {
 // request, the memory-mapped graph is returned and the body is never
 // parsed. Each digest loads at most once, concurrent first requests
 // included. A missing file is forgotten so a conversion that lands
-// later is picked up; an unreadable or corrupt file is remembered as
-// failed, and either way the caller falls back to parsing the body it
+// later is picked up. An unreadable or corrupt file is remembered as
+// failed, but not forever: each later request re-stats the file and
+// retries the load once the size or mtime moved, so re-running
+// `backbone -convert` heals the entry without a daemon restart — while
+// the unchanged corrupt file stays one counted error, not one per
+// request. Either way the caller falls back to parsing the body it
 // already holds — -graphdir is an accelerator, never a correctness
 // dependency.
 func (s *server) mmapGraph(sum [sha256.Size]byte, directed bool) *repro.Graph {
@@ -453,37 +510,57 @@ func (s *server) mmapGraph(sum [sha256.Size]byte, directed bool) *repro.Graph {
 		s.mmapFiles[sum] = e
 	}
 	s.mmapMu.Unlock()
-	e.once.Do(func() {
+
+	e.mu.Lock()
+	if e.g == nil {
 		path := filepath.Join(s.graphDir, hex.EncodeToString(sum[:])+".bbg")
-		f, err := binfmt.Open(path)
-		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
+		attempt := true
+		if e.failed {
+			// Revalidate the memoized failure: only a file whose stat
+			// identity changed (or vanished) is worth retrying.
+			fi, err := os.Stat(path)
+			attempt = err != nil || fi.Size() != e.failSize || !fi.ModTime().Equal(e.failTime)
+		}
+		if attempt {
+			f, err := binfmt.Open(path)
+			switch {
+			case err == nil:
+				e.file, e.g = f, f.Graph()
+				e.failed = false
+				s.mmapLoads.Add(1)
+				s.mmapSections.Add(int64(f.Sections()))
+				s.mmapBytes.Add(f.MappedBytes())
+			case errors.Is(err, os.ErrNotExist):
 				s.mmapMisses.Add(1)
 				s.mmapMu.Lock()
 				delete(s.mmapFiles, sum)
 				s.mmapMu.Unlock()
-				return
+				e.mu.Unlock()
+				return nil
+			default:
+				s.mmapErrors.Add(1)
+				e.failed = true
+				e.failSize, e.failTime = -1, time.Time{}
+				if fi, statErr := os.Stat(path); statErr == nil {
+					e.failSize, e.failTime = fi.Size(), fi.ModTime()
+				}
+				s.logf("graphdir: %v (parsing the body instead)", err)
 			}
-			s.mmapErrors.Add(1)
-			s.logf("graphdir: %v (parsing the body instead)", err)
-			return
 		}
-		e.file, e.g = f, f.Graph()
-		s.mmapLoads.Add(1)
-		s.mmapSections.Add(int64(f.Sections()))
-		s.mmapBytes.Add(f.MappedBytes())
-	})
-	if e.g == nil {
+	}
+	g := e.g
+	e.mu.Unlock()
+	if g == nil {
 		return nil
 	}
-	if e.g.Directed() != directed {
+	if g.Directed() != directed {
 		// The file header records how the graph was converted; a request
 		// asking for the other orientation parses the body as usual.
 		s.mmapMisses.Add(1)
 		return nil
 	}
 	s.mmapHits.Add(1)
-	return e.g
+	return g
 }
 
 // resolveGraph turns a fully read request body into a parsed graph
@@ -686,6 +763,9 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 func (s *server) cachedScores(ctx context.Context, gkey graphKey, g *repro.Graph, method string, parallel bool) (*repro.Scores, bool, error) {
 	key := scoreKey{g: gkey, method: method}
 	return s.scores.Do(ctx, key, func() (*repro.Scores, int64, error) {
+		if err := s.scoreGate(ctx); err != nil {
+			return nil, 0, err
+		}
 		opts := []repro.Option{repro.WithMethod(method)}
 		if parallel {
 			opts = append(opts, repro.WithParallel())
@@ -699,16 +779,38 @@ func (s *server) cachedScores(ctx context.Context, gkey graphKey, g *repro.Graph
 }
 
 // intake is the first half of the scoring endpoints' front door: apply
-// the per-request timeout and read (and bound) the body. On failure it
+// the per-request budget and read (and bound) the body. The budget is
+// the smaller of the local -timeout and the propagated
+// X-Backbone-Deadline header (remaining milliseconds, stamped by a
+// forwarding peer or a deadline-aware client); a budget already spent
+// upstream is answered 504 before any byte of work. On failure intake
 // has already written the error response and returns ok == false; on
 // success the caller must cancel with the request. The body is read
 // before worker-pool admission — it is I/O-bound, and draining it lets
 // the connection's background read detect a vanished client while the
 // request queues for a slot.
 func (s *server) intake(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, body []byte, ok bool) {
+	budget := s.timeout
+	if v := r.Header.Get(fleet.DeadlineHeader); v != "" {
+		ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		switch {
+		case err != nil:
+			// Garbage is ignored, not fatal: the header is advisory and
+			// the local -timeout still bounds the request.
+		case ms <= 0:
+			s.expiredArrivals.Add(1)
+			s.fail(w, http.StatusGatewayTimeout,
+				fmt.Errorf("request budget already expired upstream (%s: %s)", fleet.DeadlineHeader, v))
+			return nil, nil, nil, false
+		default:
+			if d := time.Duration(ms) * time.Millisecond; budget <= 0 || d < budget {
+				budget = d
+			}
+		}
+	}
 	ctx, cancel = r.Context(), func() {}
-	if s.timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	if budget > 0 {
+		ctx, cancel = context.WithTimeout(ctx, budget)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
@@ -724,23 +826,145 @@ func (s *server) intake(w http.ResponseWriter, r *http.Request) (ctx context.Con
 	return ctx, cancel, body, true
 }
 
-// acquire is the second half: wait for a bounded worker-pool slot. A
-// saturated pool makes callers queue until a slot frees or their
-// context gives up, at which point the 503 carries a Retry-After so
-// well-behaved clients (and the fleet's own retry loop) back off
-// instead of hammering. On ok the caller MUST schedule release with
-// defer immediately — a panicking handler must still return its slot,
-// or the pool shrinks by one forever (regression-pinned by
+// acquire is the second half: admission into the adaptive worker pool
+// (internal/admission) under the request's lane and latency cost key.
+// A shed — queue full, queue wait expired, or a budget that cannot
+// cover the observed p90 cost of the work ahead — is a 503 whose
+// Retry-After is computed from queue depth; a budget already expired
+// on arrival is a 504. On ok the caller MUST defer the ticket's
+// Release immediately — a panicking handler must still return its
+// slot, or the pool shrinks by one forever (regression-pinned by
 // TestPanickingHandlerReleasesSlot).
-func (s *server) acquire(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
-	case <-ctx.Done():
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("worker pool saturated: %v", ctx.Err()))
-		return nil, false
+func (s *server) acquire(ctx context.Context, w http.ResponseWriter, lane admission.Lane, costKey string) (*admission.Ticket, bool) {
+	tk, err := s.limiter.Acquire(ctx, lane, costKey)
+	if err == nil {
+		return tk, true
 	}
+	var shed *admission.ShedError
+	switch {
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfterSeconds()))
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("worker pool saturated: %w", err))
+	case errors.Is(err, admission.ErrExpired):
+		s.fail(w, http.StatusGatewayTimeout, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+	return nil, false
+}
+
+// classifyRun picks the admission lane and latency cost key for a
+// /backbone or /score request before any slot is held. Fast lane means
+// the method's significance table is already cached for this exact
+// body — serving is pruning plus serialization, no scoring — so such
+// requests are never starved behind cold scoring work. (An mmap-served
+// -graphdir body additionally skips parsing, but its first-touch
+// scoring is still cold work; once its table is cached it rides the
+// fast lane like any other hit.) The key derivation mirrors
+// resolveGraph; envelope bodies classify conservatively (their method
+// and directedness live in the unparsed JSON) and land in the cold
+// lane unless the query spells them out.
+func (s *server) classifyRun(r *http.Request, body []byte) (admission.Lane, string) {
+	q := r.URL.Query()
+	method := q.Get("method")
+	if method == "" {
+		method = "nc"
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	directed := q.Get("directed") == "true" || q.Get("directed") == "1"
+	mode := "sniff"
+	if ct == "application/json" {
+		mode = "envelope"
+	} else {
+		inFormat := q.Get("format")
+		if inFormat == "" {
+			inFormat = contentTypeFormat(ct)
+		}
+		if inFormat != "" {
+			if f, err := repro.LookupFormat(inFormat); err == nil {
+				mode = f.Name
+			}
+		}
+	}
+	gkey := graphKey{sum: sha256.Sum256(body), mode: mode, directed: directed}
+	if s.scores.Contains(scoreKey{g: gkey, method: method}) {
+		return admission.Fast, "cached"
+	}
+	return admission.Cold, method
+}
+
+// classifyEvaluate is classifyRun for /evaluate: fast lane only when
+// every selected method's table is cached, i.e. the whole comparison
+// runs without scoring a single edge.
+func (s *server) classifyEvaluate(r *http.Request, body []byte) (admission.Lane, string) {
+	q := r.URL.Query()
+	var methods []string
+	switch {
+	case q.Get("methods") != "":
+		for _, name := range strings.Split(q.Get("methods"), ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				methods = append(methods, name)
+			}
+		}
+	case q.Get("method") != "":
+		methods = []string{q.Get("method")}
+	default:
+		for _, m := range repro.Methods() {
+			if !m.CanScore() {
+				// An extract-only method has no cacheable table; the
+				// comparison will run it cold.
+				return admission.Cold, "evaluate"
+			}
+			methods = append(methods, m.Name)
+		}
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	if ct == "application/json" || len(methods) == 0 {
+		return admission.Cold, "evaluate"
+	}
+	directed := q.Get("directed") == "true" || q.Get("directed") == "1"
+	mode := "sniff"
+	inFormat := q.Get("format")
+	if inFormat == "" {
+		inFormat = contentTypeFormat(ct)
+	}
+	if inFormat != "" {
+		if f, err := repro.LookupFormat(inFormat); err == nil {
+			mode = f.Name
+		}
+	}
+	gkey := graphKey{sum: sha256.Sum256(body), mode: mode, directed: directed}
+	for _, name := range methods {
+		if !s.scores.Contains(scoreKey{g: gkey, method: name}) {
+			return admission.Cold, "evaluate"
+		}
+	}
+	return admission.Fast, "cached"
+}
+
+// scoreGate is the last check before scoring work starts: a request
+// whose deadline has already passed is refused here, whatever got it
+// this far (queue wait, parse time, a follower joining a dead
+// leader's flight). The violation counter records a past-deadline
+// start the context machinery had not yet surfaced — the overload e2e
+// asserts it stays zero.
+func (s *server) scoreGate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		s.expiredBeforeScoring.Add(1)
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		s.deadlineViolations.Add(1)
+		s.expiredBeforeScoring.Add(1)
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // servedByHeader names the peer whose worker pool computed (or cached)
@@ -879,11 +1103,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.routed(ctx, w, r, body) {
 		return
 	}
-	release, ok := s.acquire(ctx, w)
+	lane, costKey := s.classifyRun(r, body)
+	tk, ok := s.acquire(ctx, w, lane, costKey)
 	if !ok {
 		return
 	}
-	defer release()
+	// The outcome feeds the AIMD controller: OK completions are
+	// latency evidence, a deadline death mid-execution is a congestion
+	// signal, everything else (caller mistakes, panics, vanished
+	// clients) is noise.
+	outcome := admission.Errored
+	defer func() { tk.Release(outcome) }()
+	done := func(status int, err error) {
+		if status == http.StatusGatewayTimeout {
+			outcome = admission.Timeout
+		}
+		s.fail(w, status, err)
+	}
 	w, failed := s.chaos(ctx, w)
 	if failed {
 		return
@@ -891,7 +1127,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	req, status, err := s.parseRun(ctx, r, body)
 	if err != nil {
-		s.fail(w, status, err)
+		done(status, err)
 		return
 	}
 
@@ -901,11 +1137,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// caller-mistake checks here: no pruning options, and every
 		// parameter override must be declared by the method.
 		if req.topSet {
-			s.fail(w, http.StatusInternalServerError, errors.New("repro: Score returns the full table; prune with Backbone's WithTopK/WithTopFraction or the table's own TopK"))
+			done(http.StatusInternalServerError, errors.New("repro: Score returns the full table; prune with Backbone's WithTopK/WithTopFraction or the table's own TopK"))
 			return
 		}
 		if _, err := req.method.Resolve(req.params); err != nil {
-			s.fail(w, statusFor(err), err)
+			done(statusFor(err), err)
 			return
 		}
 	}
@@ -919,7 +1155,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if useTable {
 		sc, hit, err := s.cachedScores(ctx, req.gkey, req.g, req.method.Name, req.parallel)
 		if err != nil {
-			s.fail(w, statusFor(err), err)
+			done(statusFor(err), err)
 			return
 		}
 		scores = sc
@@ -932,17 +1168,25 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else if scoreOnly {
 		// Extract-only methods cannot serve /score; surface the typed
 		// error exactly as the pipeline would.
-		_, err := repro.ScoreContext(ctx, req.g, req.opts...)
-		if err == nil {
-			err = fmt.Errorf("method %q produced no table", req.method.Name)
+		var serr error
+		if serr = s.scoreGate(ctx); serr == nil {
+			_, serr = repro.ScoreContext(ctx, req.g, req.opts...)
+			if serr == nil {
+				serr = fmt.Errorf("method %q produced no table", req.method.Name)
+			}
 		}
-		s.fail(w, statusFor(err), err)
+		done(statusFor(serr), serr)
 		return
 	}
 	w.Header().Set("X-Backbone-Cache", cacheState)
 
 	if scoreOnly {
+		outcome = admission.OK
 		s.writeScores(w, req, scores)
+		return
+	}
+	if err := s.scoreGate(ctx); err != nil {
+		done(statusFor(err), err)
 		return
 	}
 	runOpts := req.opts
@@ -951,9 +1195,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := repro.BackboneContext(ctx, req.g, runOpts...)
 	if err != nil {
-		s.fail(w, statusFor(err), err)
+		done(statusFor(err), err)
 		return
 	}
+	outcome = admission.OK
 	s.writeBackbone(w, req, res)
 }
 
@@ -990,11 +1235,19 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if s.routed(ctx, w, r, body) {
 		return
 	}
-	release, ok := s.acquire(ctx, w)
+	lane, costKey := s.classifyEvaluate(r, body)
+	tk, ok := s.acquire(ctx, w, lane, costKey)
 	if !ok {
 		return
 	}
-	defer release()
+	outcome := admission.Errored
+	defer func() { tk.Release(outcome) }()
+	done := func(status int, err error) {
+		if status == http.StatusGatewayTimeout {
+			outcome = admission.Timeout
+		}
+		s.fail(w, status, err)
+	}
 	w, failed := s.chaos(ctx, w)
 	if failed {
 		return
@@ -1002,7 +1255,7 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	g, gkey, env, _, status, err := s.resolveGraph(ctx, r, body)
 	if err != nil {
-		s.fail(w, status, err)
+		done(status, err)
 		return
 	}
 
@@ -1023,6 +1276,10 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		methods = []string{q.Get("method")}
 	case env != nil && env.Method != "":
 		methods = []string{env.Method}
+	}
+	if err := s.scoreGate(ctx); err != nil {
+		done(statusFor(err), err)
+		return
 	}
 	// Concurrency 1: one admitted /evaluate request runs at most one
 	// scoring computation at a time, so -workers stays an honest cap on
@@ -1058,7 +1315,7 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := strconv.ParseFloat(vals[0], 64)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, &repro.ParamError{
+			done(http.StatusBadRequest, &repro.ParamError{
 				Param: name, Reason: fmt.Sprintf("not a number: %q", vals[0]),
 			})
 			return
@@ -1068,7 +1325,7 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("top"); v != "" {
 		k, err := strconv.Atoi(v)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)})
+			done(http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)})
 			return
 		}
 		opts = append(opts, repro.WithTopK(k))
@@ -1076,7 +1333,7 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("frac"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)})
+			done(http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)})
 			return
 		}
 		opts = append(opts, repro.WithTopFraction(f))
@@ -1092,9 +1349,10 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	rep, err := repro.CompareContext(ctx, g, opts...)
 	if err != nil {
-		s.fail(w, statusFor(err), err)
+		done(statusFor(err), err)
 		return
 	}
+	outcome = admission.OK
 	s.evalCacheSkips.Add(uint64(rep.CacheHits))
 
 	cacheState := "miss"
@@ -1125,6 +1383,17 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"evaluate": map[string]uint64{
 			"requests":    s.evalRequests.Load(),
 			"cache_skips": s.evalCacheSkips.Load(),
+		},
+		"admission": struct {
+			admission.Stats
+			ExpiredArrivals      uint64 `json:"expired_arrivals"`
+			ExpiredBeforeScoring uint64 `json:"expired_before_scoring"`
+			DeadlineViolations   uint64 `json:"deadline_violations"`
+		}{
+			Stats:                s.limiter.Stats(),
+			ExpiredArrivals:      s.expiredArrivals.Load(),
+			ExpiredBeforeScoring: s.expiredBeforeScoring.Load(),
+			DeadlineViolations:   s.deadlineViolations.Load(),
 		},
 	}
 	if s.graphDir != "" {

@@ -1,0 +1,162 @@
+// Command backbonegen drives a running backboned daemon with open-loop
+// load and reports goodput, shed/expiry rates and latency percentiles:
+// the measurement harness for admission-control and overload work.
+//
+// Usage:
+//
+//	backbonegen -url http://localhost:8080 [-path /backbone] [-query method=nc]
+//	            [-rps 50] [-ramp-to 0] [-duration 30s] [-timeout 5s]
+//	            [-bodies 8] [-edges 2000] [-zipf 1.2] [-seed 1]
+//	            [-max-in-flight 512] [-json] [-statsz]
+//
+// The generator synthesizes -bodies distinct edge-list request bodies
+// of roughly -edges edges each (deterministic in -seed) and POSTs one
+// per arrival, selected zipfian when -zipf > 1 (body 0 hottest — the
+// cache-skew shape real traffic has) or uniformly otherwise. Arrivals
+// are scheduled open-loop at -rps, ramping linearly to -ramp-to when
+// set, so offered load does not slacken when the server queues: what a
+// saturated daemon does under pressure — shed, expire, or keep its
+// goodput — is exactly what the report shows. Every request carries
+// X-Backbone-Deadline (the -timeout budget in milliseconds), arming
+// the daemon's deadline-aware admission and fleet propagation.
+//
+// -json emits the full report as JSON on stdout (the human summary
+// goes to stderr); -statsz additionally fetches the daemon's /statsz
+// after the run and embeds it in the JSON report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "daemon base URL")
+		path     = flag.String("path", "/backbone", "endpoint path (/backbone, /score, /evaluate)")
+		query    = flag.String("query", "method=nc", "query string without the leading ?")
+		rps      = flag.Float64("rps", 50, "offered arrival rate at t=0 (open loop)")
+		rampTo   = flag.Float64("ramp-to", 0, "arrival rate at t=duration; 0 holds -rps flat")
+		duration = flag.Duration("duration", 30*time.Second, "run length")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request budget, propagated as X-Backbone-Deadline")
+		bodies   = flag.Int("bodies", 8, "distinct request bodies in the working set")
+		edges    = flag.Int("edges", 2000, "approximate edges per body")
+		zipf     = flag.Float64("zipf", 1.2, "zipf exponent for body selection (hot-key skew); <= 1 selects uniformly")
+		seed     = flag.Int64("seed", 1, "RNG seed for body synthesis and selection")
+		maxInfl  = flag.Int("max-in-flight", 512, "client-side concurrent request cap; arrivals past it count as dropped")
+		asJSON   = flag.Bool("json", false, "emit the full report as JSON on stdout")
+		statsz   = flag.Bool("statsz", false, "fetch the daemon's /statsz after the run (JSON report only)")
+	)
+	flag.Parse()
+
+	work, err := loadgen.Bodies(*bodies, *edges, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "backbonegen: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "backbonegen: %s%s?%s — %g rps", *url, *path, *query, *rps)
+	if *rampTo > 0 {
+		fmt.Fprintf(os.Stderr, " ramping to %g", *rampTo)
+	}
+	fmt.Fprintf(os.Stderr, " for %v, %d bodies x ~%d edges (zipf %g), timeout %v\n",
+		*duration, *bodies, *edges, *zipf, *timeout)
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		URL:         *url,
+		Path:        *path,
+		Query:       *query,
+		RPS:         *rps,
+		RampTo:      *rampTo,
+		Duration:    *duration,
+		Timeout:     *timeout,
+		Bodies:      work,
+		Zipf:        *zipf,
+		Seed:        *seed,
+		MaxInFlight: *maxInfl,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "backbonegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	printSummary(os.Stderr, rep)
+	if *asJSON {
+		out := struct {
+			*loadgen.Report
+			Statsz json.RawMessage `json:"statsz,omitempty"`
+		}{Report: rep}
+		if *statsz {
+			if raw, err := fetchStatsz(ctx, *url); err != nil {
+				fmt.Fprintf(os.Stderr, "backbonegen: statsz: %v\n", err)
+			} else {
+				out.Statsz = raw
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "backbonegen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printSummary renders the human-readable run report.
+func printSummary(w *os.File, rep *loadgen.Report) {
+	fmt.Fprintf(w, "ran %.1fs: offered %d, sent %d, dropped %d (client cap)\n",
+		rep.DurationSeconds, rep.Offered, rep.Sent, rep.Dropped)
+	outcomes := make([]string, 0, len(rep.Outcomes))
+	for o := range rep.Outcomes {
+		outcomes = append(outcomes, string(o))
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		n := rep.Outcomes[loadgen.Outcome(o)]
+		line := fmt.Sprintf("  %-8s %6d (%.1f%%)", o, n, 100*float64(n)/float64(rep.Sent))
+		if s, ok := rep.Latency[loadgen.Outcome(o)]; ok && s.Count > 0 {
+			line += fmt.Sprintf("  p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms",
+				s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "goodput: %.1f rps\n", rep.GoodputRPS)
+	if rep.RetryAfterCount > 0 {
+		fmt.Fprintf(w, "retry-after: mean %.1fs over %d shed responses\n",
+			rep.RetryAfterSeconds/float64(rep.RetryAfterCount), rep.RetryAfterCount)
+	}
+}
+
+// fetchStatsz grabs the daemon's stats endpoint for embedding in the
+// JSON report.
+func fetchStatsz(ctx context.Context, base string) (json.RawMessage, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/statsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}

@@ -1,0 +1,155 @@
+package admission
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	// ringSize bounds each cost key's latency window: large enough to
+	// smooth scheduling noise, small enough that the estimate tracks a
+	// workload shift within a few seconds of traffic.
+	ringSize = 128
+	// minSamples gates every estimate: below it the tracker reports
+	// "no evidence" and admission stays permissive rather than
+	// fast-failing requests on noise.
+	minSamples = 8
+)
+
+// series is one key's ring of recent execution latencies.
+type series struct {
+	buf  [ringSize]time.Duration
+	n    int // filled length
+	next int // next write slot
+}
+
+func (s *series) observe(d time.Duration) {
+	s.buf[s.next] = d
+	s.next = (s.next + 1) % ringSize
+	if s.n < ringSize {
+		s.n++
+	}
+}
+
+// window returns the filled samples, appended to dst.
+func (s *series) window(dst []time.Duration) []time.Duration {
+	return append(dst, s.buf[:s.n]...)
+}
+
+// Tracker records recent *execution* latencies (admission to release,
+// queue wait excluded) per cost key. The window minimum serves as the
+// no-contention baseline for the AIMD congestion test; the p90 is the
+// cost estimate behind deadline fast-fail and the computed Retry-After.
+type Tracker struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{series: make(map[string]*series)}
+}
+
+// Observe records one execution latency under key.
+func (t *Tracker) Observe(key string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	s := t.series[key]
+	if s == nil {
+		s = &series{}
+		t.series[key] = s
+	}
+	s.observe(d)
+	t.mu.Unlock()
+}
+
+// Quantile returns the q-quantile of key's recent window. ok is false
+// until the window holds minSamples observations.
+func (t *Tracker) Quantile(key string, q float64) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.series[key]
+	if s == nil || s.n < minSamples {
+		return 0, false
+	}
+	w := s.window(make([]time.Duration, 0, ringSize))
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	return quantileSorted(w, q), true
+}
+
+// P90 is the cost estimate used for deadline fast-fail and
+// Retry-After computation.
+func (t *Tracker) P90(key string) (time.Duration, bool) {
+	return t.Quantile(key, 0.90)
+}
+
+// Baseline returns the window minimum — the best latency the key has
+// achieved recently, i.e. its cost without queueing or contention.
+func (t *Tracker) Baseline(key string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.series[key]
+	if s == nil || s.n < minSamples {
+		return 0, false
+	}
+	min := s.buf[0]
+	for _, d := range s.buf[1:s.n] {
+		if d < min {
+			min = d
+		}
+	}
+	return min, true
+}
+
+// quantileSorted picks the q-quantile from an ascending slice using the
+// nearest-rank method.
+func quantileSorted(w []time.Duration, q float64) time.Duration {
+	if len(w) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(w))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(w) {
+		idx = len(w) - 1
+	}
+	return w[idx]
+}
+
+// KeyLatency is one key's /statsz row, in milliseconds for direct
+// consumption by dashboards and backbonegen reports.
+type KeyLatency struct {
+	Samples int     `json:"samples"`
+	MinMs   float64 `json:"min_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P90Ms   float64 `json:"p90_ms"`
+}
+
+// Snapshot summarizes every key's window (keys below minSamples are
+// included with their sample count so warm-up is visible).
+func (t *Tracker) Snapshot() map[string]KeyLatency {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]KeyLatency, len(t.series))
+	w := make([]time.Duration, 0, ringSize)
+	for key, s := range t.series {
+		kl := KeyLatency{Samples: s.n}
+		if s.n > 0 {
+			w = s.window(w[:0])
+			sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+			kl.MinMs = ms(w[0])
+			kl.P50Ms = ms(quantileSorted(w, 0.50))
+			kl.P90Ms = ms(quantileSorted(w, 0.90))
+		}
+		out[key] = kl
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,72 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTrackerGatesEstimatesOnMinSamples(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < minSamples-1; i++ {
+		tr.Observe("k", time.Millisecond)
+	}
+	if _, ok := tr.P90("k"); ok {
+		t.Fatal("P90 reported with fewer than minSamples observations")
+	}
+	if _, ok := tr.Baseline("k"); ok {
+		t.Fatal("Baseline reported with fewer than minSamples observations")
+	}
+	tr.Observe("k", time.Millisecond)
+	if _, ok := tr.P90("k"); !ok {
+		t.Fatal("P90 missing at minSamples observations")
+	}
+	if _, ok := tr.P90("other"); ok {
+		t.Fatal("P90 reported for an unobserved key")
+	}
+}
+
+func TestTrackerQuantileAndBaseline(t *testing.T) {
+	tr := NewTracker()
+	// 1ms..10ms: p90 (nearest rank) = 9ms, median = 5ms, min = 1ms.
+	for i := 1; i <= 10; i++ {
+		tr.Observe("k", time.Duration(i)*time.Millisecond)
+	}
+	if p90, ok := tr.P90("k"); !ok || p90 != 9*time.Millisecond {
+		t.Fatalf("P90 = %v (%v), want 9ms", p90, ok)
+	}
+	if p50, ok := tr.Quantile("k", 0.50); !ok || p50 != 5*time.Millisecond {
+		t.Fatalf("p50 = %v (%v), want 5ms", p50, ok)
+	}
+	if base, ok := tr.Baseline("k"); !ok || base != time.Millisecond {
+		t.Fatalf("Baseline = %v (%v), want 1ms", base, ok)
+	}
+}
+
+func TestTrackerWindowEvictsOldSamples(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("k", time.Microsecond) // ancient fast sample
+	for i := 0; i < ringSize; i++ {
+		tr.Observe("k", 10*time.Millisecond)
+	}
+	// The ring holds only the last ringSize samples, so the ancient
+	// minimum has aged out.
+	if base, ok := tr.Baseline("k"); !ok || base != 10*time.Millisecond {
+		t.Fatalf("Baseline = %v (%v), want 10ms after eviction", base, ok)
+	}
+}
+
+func TestTrackerSnapshot(t *testing.T) {
+	tr := NewTracker()
+	for i := 1; i <= 10; i++ {
+		tr.Observe("k", time.Duration(i)*time.Millisecond)
+	}
+	tr.Observe("warming", time.Millisecond)
+	snap := tr.Snapshot()
+	k := snap["k"]
+	if k.Samples != 10 || k.MinMs != 1 || k.P50Ms != 5 || k.P90Ms != 9 {
+		t.Fatalf("snapshot[k] = %+v", k)
+	}
+	if w := snap["warming"]; w.Samples != 1 {
+		t.Fatalf("snapshot[warming] = %+v, want 1 sample visible", w)
+	}
+}

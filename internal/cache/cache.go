@@ -174,6 +174,20 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 	return el.Value.(*entry[K, V]).v, true
 }
 
+// Contains reports whether key is cached right now, without bumping
+// recency or touching the hit/miss counters — a pure peek for callers
+// that classify a request by cache residency (the daemon's admission
+// lanes) before deciding whether to serve it at all.
+func (c *LRU[K, V]) Contains(key K) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Add inserts (or refreshes) a value with the given cost, evicting
 // least-recently-used entries as needed.
 func (c *LRU[K, V]) Add(key K, v V, cost int64) {

@@ -209,6 +209,38 @@ func TestNilCache(t *testing.T) {
 	if c.Len() != 0 || c.Stats() != (Stats{}) {
 		t.Error("nil cache retained state")
 	}
+	if c.Contains("k") {
+		t.Error("nil Contains reported true")
+	}
+}
+
+// TestContainsIsStatsAndRecencyNeutral pins the peek contract: lane
+// classification probes the cache on every request and must neither
+// skew the hit/miss counters nor protect entries from eviction.
+func TestContainsIsStatsAndRecencyNeutral(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1, 1)
+	c.Add("b", 2, 1)
+
+	if !c.Contains("a") || !c.Contains("b") || c.Contains("missing") {
+		t.Fatal("Contains residency answers wrong")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains moved counters: %+v", st)
+	}
+
+	// Peeking "a" many times must not refresh it: "a" is still the LRU
+	// entry and the next insert evicts it, not "b".
+	for i := 0; i < 10; i++ {
+		c.Contains("a")
+	}
+	c.Add("c", 3, 1)
+	if c.Contains("a") {
+		t.Error("Contains bumped recency: LRU entry survived eviction")
+	}
+	if !c.Contains("b") || !c.Contains("c") {
+		t.Error("wrong entry evicted")
+	}
 }
 
 // TestConcurrentMixedKeys hammers the cache from many goroutines for

@@ -35,6 +35,20 @@ import (
 // a request around the fleet.
 const ForwardedHeader = "X-Backbone-Forwarded"
 
+// DeadlineHeader carries a request's remaining time budget across
+// fleet hops as integer milliseconds. It is a *relative* budget, not
+// an absolute deadline, so peers need no clock synchronization: the
+// forwarder stamps what is left of its own deadline minus the
+// estimated transit cost to the peer, and the receiving daemon admits
+// the request against that remaining budget.
+const DeadlineHeader = "X-Backbone-Deadline"
+
+// DurationHeader is the serving daemon's self-reported execution time
+// in milliseconds. The forwarder subtracts it from each attempt's
+// wall-clock time to measure per-peer transit cost — the amount it
+// deducts from the budget it propagates on the next attempt.
+const DurationHeader = "X-Backbone-Duration-Ms"
+
 // relayHeaders are the response headers a forwarding peer relays back
 // to its client, by prefix or exact (canonical) name.
 const relayPrefix = "X-Backbone-"
@@ -77,6 +91,45 @@ type Peer struct {
 	retries   atomic.Uint64 // extra attempts beyond each first
 	failures  atomic.Uint64 // failed attempts (transport or 5xx)
 	fallbacks atomic.Uint64 // forwards abandoned for local execution
+	// transitNs is the EWMA of measured transit cost to this peer
+	// (attempt wall-clock minus the peer's self-reported execution
+	// time), in nanoseconds; 0 means unmeasured.
+	transitNs atomic.Int64
+}
+
+// initialTransit seeds a peer's transit estimate before the first
+// measured response: generous for a LAN so early forwards are not
+// rejected for budget, corrected by the first round trip.
+const initialTransit = 5 * time.Millisecond
+
+// transit returns the current transit-cost estimate.
+func (p *Peer) transit() time.Duration {
+	if ns := p.transitNs.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return initialTransit
+}
+
+// observeTransit folds one measured transit cost into the EWMA
+// (25% weight on the new sample).
+func (p *Peer) observeTransit(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	for {
+		old := p.transitNs.Load()
+		cur := old
+		if cur <= 0 {
+			cur = int64(initialTransit)
+		}
+		next := (3*cur + int64(d)) / 4
+		if next < 1 {
+			next = 1
+		}
+		if p.transitNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // PeerStats is one peer's /statsz row.
@@ -87,6 +140,7 @@ type PeerStats struct {
 	Retries   uint64                 `json:"retries"`
 	Failures  uint64                 `json:"failures"`
 	Fallbacks uint64                 `json:"fallbacks"`
+	TransitMs float64                `json:"transit_ms,omitempty"`
 	Breaker   resilient.BreakerStats `json:"breaker"`
 }
 
@@ -209,7 +263,7 @@ func (f *Fleet) Forward(ctx context.Context, addr string, d Digest, path, rawQue
 				// out a cooldown.
 				return resilient.Permanent(err)
 			}
-			resp, err := f.attemptForward(ctx, p.Addr, path, rawQuery, contentType, accept, body)
+			resp, err := f.attemptForward(ctx, p, path, rawQuery, contentType, accept, body)
 			if err != nil {
 				p.breaker.Record(false)
 				p.failures.Add(1)
@@ -235,7 +289,8 @@ func (f *Fleet) Forward(ctx context.Context, addr string, d Digest, path, rawQue
 }
 
 // attemptForward is one bounded try against one peer.
-func (f *Fleet) attemptForward(ctx context.Context, addr, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
+func (f *Fleet) attemptForward(ctx context.Context, p *Peer, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
+	addr := p.Addr
 	actx, cancel := context.WithTimeout(ctx, f.attempt)
 	defer cancel()
 
@@ -254,6 +309,26 @@ func (f *Fleet) attemptForward(ctx context.Context, addr, path, rawQuery, conten
 		req.Header.Set("Accept", accept)
 	}
 	req.Header.Set(ForwardedHeader, f.self)
+	// Deadline propagation: stamp the budget this attempt hands the
+	// peer — what remains of the request deadline minus the estimated
+	// transit cost, re-deducted per attempt so retries never promise
+	// time that backoff already spent. A budget transit would eat
+	// entirely ends the forward: the peer could only 504, while local
+	// execution (no transit) may still make it.
+	started := time.Now()
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := dl.Sub(started) - p.transit()
+		if remaining <= 0 {
+			return nil, resilient.Permanent(fmt.Errorf(
+				"peer %s: remaining budget %s cannot cover estimated transit %s",
+				addr, dl.Sub(started).Round(time.Millisecond), p.transit().Round(time.Millisecond)))
+		}
+		ms := remaining.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 
 	hr, err := f.client.Do(req)
 	if err != nil {
@@ -276,6 +351,14 @@ func (f *Fleet) attemptForward(ctx context.Context, addr, path, rawQuery, conten
 	}
 	if int64(len(raw)) > f.maxResp {
 		return nil, fmt.Errorf("peer %s: response exceeds %d bytes", addr, f.maxResp)
+	}
+	// Transit measurement: attempt wall-clock minus the peer's
+	// self-reported execution time is the network + queueing cost this
+	// peer charges, folded into the estimate the next budget stamp uses.
+	if v := hr.Header.Get(DurationHeader); v != "" {
+		if served, perr := strconv.ParseInt(v, 10, 64); perr == nil && served >= 0 {
+			p.observeTransit(time.Since(started) - time.Duration(served)*time.Millisecond)
+		}
 	}
 	if hr.StatusCode >= http.StatusInternalServerError {
 		err := fmt.Errorf("peer %s: status %d: %s", addr, hr.StatusCode, truncateForLog(raw))
@@ -350,7 +433,7 @@ func (f *Fleet) Stats() []PeerStats {
 	out := make([]PeerStats, 0, len(f.members))
 	for _, addr := range f.members {
 		p := f.peers[addr]
-		out = append(out, PeerStats{
+		ps := PeerStats{
 			Addr:      addr,
 			Self:      addr == f.self,
 			Forwards:  p.forwards.Load(),
@@ -358,7 +441,11 @@ func (f *Fleet) Stats() []PeerStats {
 			Failures:  p.failures.Load(),
 			Fallbacks: p.fallbacks.Load(),
 			Breaker:   p.breaker.Stats(),
-		})
+		}
+		if addr != f.self {
+			ps.TransitMs = float64(p.transit()) / float64(time.Millisecond)
+		}
+		out = append(out, ps)
 	}
 	return out
 }

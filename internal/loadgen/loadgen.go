@@ -1,0 +1,359 @@
+// Package loadgen is an open-loop HTTP load generator for driving a
+// backboned daemon into (and past) saturation: arrivals are scheduled
+// on a wall clock at a configured — optionally ramping — rate,
+// independent of how fast the server answers, so queueing delay and
+// shedding behavior are actually observable instead of being hidden by
+// closed-loop back-pressure. It is the measurement engine behind
+// cmd/backbonegen and the overload e2e suite.
+//
+// Each request POSTs one body from a fixed working set (selected
+// uniformly or zipfian, so cache-hit skew is reproducible), carries
+// the daemon's deadline-propagation header (X-Backbone-Deadline) and
+// classifies the result: 2xx is goodput, 503 a shed, 504 an expired
+// budget, client-side expiry a timeout, everything else an error.
+// Latencies are recorded per outcome and summarized as percentiles
+// plus a log-scale histogram.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Outcome classifies one completed request.
+type Outcome string
+
+const (
+	// OK is a 2xx response with a fully read body: goodput.
+	OK Outcome = "ok"
+	// Shed is a 503 — the admission path refused the request.
+	Shed Outcome = "shed"
+	// Expired is a 504 — the budget ran out server-side.
+	Expired Outcome = "expired"
+	// Timeout is a client-side deadline expiry (no response in budget).
+	Timeout Outcome = "timeout"
+	// Errored is any other status or transport failure.
+	Errored Outcome = "error"
+)
+
+// Config tunes one load run.
+type Config struct {
+	// URL is the daemon base URL (http://host:port); Path the endpoint
+	// (default /backbone); Query the raw query string without the
+	// leading "?" (e.g. "method=nc&delta=1.0").
+	URL   string
+	Path  string
+	Query string
+	// RPS is the arrival rate at t=0; RampTo, when > 0, is the rate at
+	// t=Duration with linear interpolation between (an RPS ramp). The
+	// schedule is open-loop: arrivals never wait for responses.
+	RPS      float64
+	RampTo   float64
+	Duration time.Duration
+	// Timeout is the per-request budget; it is also propagated as the
+	// X-Backbone-Deadline header so the server sheds work it cannot
+	// finish in time. Default 5s.
+	Timeout time.Duration
+	// Bodies is the request working set; one is POSTed per arrival.
+	Bodies [][]byte
+	// Zipf > 1 selects bodies zipfian with that exponent (body 0
+	// hottest); otherwise selection is uniform.
+	Zipf float64
+	// Seed fixes the body-selection RNG.
+	Seed int64
+	// MaxInFlight caps concurrent requests client-side (default 512);
+	// arrivals past the cap are counted as Dropped, not sent — the
+	// open-loop signal that the server has fallen behind the offered
+	// rate by more than the cap.
+	MaxInFlight int
+	// Client overrides the HTTP client (tests); default is a dedicated
+	// client with a generous connection pool.
+	Client *http.Client
+}
+
+// LatencySummary describes one outcome's latency distribution.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	MinMs float64 `json:"min_ms"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Bucket is one log-scale histogram cell over all completed requests.
+type Bucket struct {
+	LeMs  float64 `json:"le_ms"` // upper bound, inclusive
+	Count int     `json:"count"`
+}
+
+// Report is the result of one load run.
+type Report struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Offered counts scheduled arrivals; Sent the ones actually issued;
+	// Dropped the arrivals refused client-side at MaxInFlight.
+	Offered int `json:"offered"`
+	Sent    int `json:"sent"`
+	Dropped int `json:"dropped"`
+	// Outcomes maps outcome name to count over sent requests.
+	Outcomes map[Outcome]int `json:"outcomes"`
+	// GoodputRPS is OK responses per second of run duration.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// RetryAfterSeconds sums the Retry-After hints on shed responses
+	// (RetryAfterCount the responses carrying one) — the mean hint is
+	// their ratio.
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
+	RetryAfterCount   int     `json:"retry_after_count"`
+	// Latency summarizes per outcome; Histogram spans all completed
+	// requests whatever their outcome.
+	Latency   map[Outcome]LatencySummary `json:"latency"`
+	Histogram []Bucket                   `json:"histogram"`
+}
+
+// result is one completed request as recorded by workers.
+type result struct {
+	outcome    Outcome
+	latency    time.Duration
+	retryAfter float64
+}
+
+// Run drives one open-loop load run and blocks until every in-flight
+// request has completed (or ctx is canceled, which stops scheduling
+// and abandons the tail).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: RPS must be > 0 (got %g)", cfg.RPS)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be > 0 (got %v)", cfg.Duration)
+	}
+	if len(cfg.Bodies) == 0 {
+		return nil, fmt.Errorf("loadgen: need at least one body")
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/backbone"
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 512
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		}}
+	}
+	target := cfg.URL + cfg.Path
+	if cfg.Query != "" {
+		target += "?" + cfg.Query
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() []byte { return cfg.Bodies[rng.Intn(len(cfg.Bodies))] }
+	if cfg.Zipf > 1 && len(cfg.Bodies) > 1 {
+		z := rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(cfg.Bodies)-1))
+		pick = func() []byte { return cfg.Bodies[z.Uint64()] }
+	}
+
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+	)
+	inFlight := make(chan struct{}, cfg.MaxInFlight)
+	rep := &Report{Outcomes: map[Outcome]int{}, Latency: map[Outcome]LatencySummary{}}
+
+	start := time.Now()
+	elapsed := time.Duration(0)
+	// Open-loop schedule: the next arrival is 1/r(t) after the current
+	// one, r interpolating linearly from RPS to RampTo. Sleeping to the
+	// absolute schedule (not relative) keeps the offered rate honest
+	// even when this loop itself is briefly descheduled.
+	for elapsed < cfg.Duration {
+		frac := float64(elapsed) / float64(cfg.Duration)
+		rate := cfg.RPS
+		if cfg.RampTo > 0 {
+			rate = cfg.RPS + (cfg.RampTo-cfg.RPS)*frac
+		}
+		rep.Offered++
+		body := pick()
+		select {
+		case inFlight <- struct{}{}:
+			rep.Sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := fire(ctx, client, target, body, cfg.Timeout)
+				<-inFlight
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}()
+		default:
+			rep.Dropped++
+		}
+
+		elapsed += time.Duration(float64(time.Second) / rate)
+		if d := start.Add(elapsed).Sub(time.Now()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return nil, ctx.Err()
+			}
+		}
+	}
+	wg.Wait()
+	rep.DurationSeconds = time.Since(start).Seconds()
+
+	byOutcome := map[Outcome][]time.Duration{}
+	var all []time.Duration
+	for _, r := range results {
+		rep.Outcomes[r.outcome]++
+		byOutcome[r.outcome] = append(byOutcome[r.outcome], r.latency)
+		all = append(all, r.latency)
+		if r.retryAfter > 0 {
+			rep.RetryAfterSeconds += r.retryAfter
+			rep.RetryAfterCount++
+		}
+	}
+	for o, ls := range byOutcome {
+		rep.Latency[o] = summarize(ls)
+	}
+	rep.Histogram = histogram(all)
+	if rep.DurationSeconds > 0 {
+		rep.GoodputRPS = float64(rep.Outcomes[OK]) / rep.DurationSeconds
+	}
+	return rep, nil
+}
+
+// fire issues one request and classifies the result.
+func fire(ctx context.Context, client *http.Client, target string, body []byte, timeout time.Duration) result {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	started := time.Now()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return result{outcome: Errored, latency: time.Since(started)}
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	// Propagate the full budget; the server (and any fleet forward)
+	// deducts from it and sheds what cannot finish in time.
+	req.Header.Set(fleet.DeadlineHeader, strconv.FormatInt(timeout.Milliseconds(), 10))
+	resp, err := client.Do(req)
+	if err != nil {
+		if errors.Is(rctx.Err(), context.DeadlineExceeded) {
+			return result{outcome: Timeout, latency: time.Since(started)}
+		}
+		return result{outcome: Errored, latency: time.Since(started)}
+	}
+	defer resp.Body.Close()
+	_, readErr := io.Copy(io.Discard, resp.Body)
+	lat := time.Since(started)
+	switch {
+	case readErr != nil:
+		if errors.Is(rctx.Err(), context.DeadlineExceeded) {
+			return result{outcome: Timeout, latency: lat}
+		}
+		return result{outcome: Errored, latency: lat}
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return result{outcome: OK, latency: lat}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		ra, _ := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
+		return result{outcome: Shed, latency: lat, retryAfter: ra}
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return result{outcome: Expired, latency: lat}
+	default:
+		return result{outcome: Errored, latency: lat}
+	}
+}
+
+// summarize computes nearest-rank percentiles over one outcome's
+// latencies.
+func summarize(ls []time.Duration) LatencySummary {
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rank := func(q float64) time.Duration {
+		idx := int(q*float64(len(ls))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ls) {
+			idx = len(ls) - 1
+		}
+		return ls[idx]
+	}
+	return LatencySummary{
+		Count: len(ls),
+		MinMs: ms(ls[0]),
+		P50Ms: ms(rank(0.50)),
+		P90Ms: ms(rank(0.90)),
+		P99Ms: ms(rank(0.99)),
+		MaxMs: ms(ls[len(ls)-1]),
+	}
+}
+
+// histogram buckets latencies into powers of two milliseconds (1, 2,
+// 4, ... capped at 65536ms), dropping empty leading/trailing cells.
+func histogram(ls []time.Duration) []Bucket {
+	if len(ls) == 0 {
+		return nil
+	}
+	const cells = 17 // 1ms .. 65536ms
+	counts := make([]int, cells)
+	for _, d := range ls {
+		ms := d.Milliseconds()
+		cell := 0
+		for cell < cells-1 && int64(1)<<cell < ms {
+			cell++
+		}
+		counts[cell]++
+	}
+	var out []Bucket
+	for i, c := range counts {
+		if c > 0 {
+			out = append(out, Bucket{LeMs: float64(int64(1) << i), Count: c})
+		}
+	}
+	return out
+}
+
+// Bodies builds a working set of n distinct CSV edge-list bodies of
+// roughly m edges each (Barabási–Albert topology with the paper
+// generators), deterministically from seed — the reusable corpus for
+// load runs and the overload e2e.
+func Bodies(n, m int, seed int64) ([][]byte, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("loadgen: need n >= 1 bodies of m >= 1 edges (got %d, %d)", n, m)
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		// Mean degree 2 gives ~2 edges per node in BA; size the node
+		// count so the edge count lands near m.
+		nodes := m/2 + 2
+		g := gen.BarabasiAlbert(rng, nodes, 2)
+		var buf bytes.Buffer
+		if err := graph.WriteGraph(&buf, g, graph.WriteOptions{Format: "csv"}); err != nil {
+			return nil, err
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out, nil
+}

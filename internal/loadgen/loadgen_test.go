@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/graph"
+)
+
+func TestBodiesDeterministicAndParseable(t *testing.T) {
+	a, err := Bodies(3, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bodies(3, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("body %d not deterministic", i)
+		}
+	}
+	if string(a[0]) == string(a[1]) {
+		t.Fatal("bodies 0 and 1 identical, want distinct networks")
+	}
+	for i, body := range a {
+		g, err := graph.ReadGraph(bytes.NewReader(body), graph.ReadOptions{})
+		if err != nil {
+			t.Fatalf("body %d unparseable: %v", i, err)
+		}
+		if e := g.NumEdges(); e < 32 || e > 128 {
+			t.Fatalf("body %d has %d edges, want near 64", i, e)
+		}
+	}
+}
+
+func TestRunClassifiesOutcomesAndComputesGoodput(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(fleet.DeadlineHeader) == "" {
+			t.Error("request missing deadline header")
+		}
+		switch n.Add(1) % 4 {
+		case 0:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 1:
+			w.WriteHeader(http.StatusGatewayTimeout)
+		case 2:
+			w.WriteHeader(http.StatusBadRequest)
+		default:
+			w.Write([]byte("ok"))
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		RPS:      200,
+		Duration: 300 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		Bodies:   [][]byte{[]byte("a,b,1\n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered < 40 || rep.Sent != rep.Offered || rep.Dropped != 0 {
+		t.Fatalf("offered/sent/dropped = %d/%d/%d", rep.Offered, rep.Sent, rep.Dropped)
+	}
+	for _, o := range []Outcome{OK, Shed, Expired, Errored} {
+		if rep.Outcomes[o] == 0 {
+			t.Errorf("outcome %s never observed: %v", o, rep.Outcomes)
+		}
+	}
+	if rep.Outcomes[Timeout] != 0 {
+		t.Errorf("spurious timeouts: %v", rep.Outcomes)
+	}
+	if rep.RetryAfterCount != rep.Outcomes[Shed] || rep.RetryAfterSeconds != 2*float64(rep.RetryAfterCount) {
+		t.Errorf("retry-after accounting: %v/%v for %d sheds",
+			rep.RetryAfterCount, rep.RetryAfterSeconds, rep.Outcomes[Shed])
+	}
+	if rep.GoodputRPS <= 0 {
+		t.Errorf("goodput = %v", rep.GoodputRPS)
+	}
+	if s := rep.Latency[OK]; s.Count != rep.Outcomes[OK] || s.P50Ms < 0 || s.MaxMs < s.MinMs {
+		t.Errorf("latency[ok] = %+v", s)
+	}
+	total := 0
+	for _, b := range rep.Histogram {
+		total += b.Count
+	}
+	if total != rep.Sent {
+		t.Errorf("histogram covers %d of %d sent", total, rep.Sent)
+	}
+}
+
+func TestRunClientTimeoutIsOutcome(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	// LIFO: unblock the handlers before ts.Close() waits on them.
+	defer ts.Close()
+	defer close(release)
+
+	rep, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		RPS:      50,
+		Duration: 100 * time.Millisecond,
+		Timeout:  50 * time.Millisecond,
+		Bodies:   [][]byte{[]byte("a,b,1\n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes[Timeout] == 0 || rep.Outcomes[OK] != 0 {
+		t.Fatalf("outcomes = %v, want only timeouts", rep.Outcomes)
+	}
+}
+
+func TestRunDropsArrivalsPastMaxInFlight(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(context.Background(), Config{
+			URL:         ts.URL,
+			RPS:         500,
+			Duration:    200 * time.Millisecond,
+			Timeout:     5 * time.Second,
+			MaxInFlight: 4,
+			Bodies:      [][]byte{[]byte("a,b,1\n")},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	time.Sleep(250 * time.Millisecond)
+	close(release)
+	rep := <-done
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Sent > 8 {
+		t.Errorf("sent %d with MaxInFlight 4, want <= 8", rep.Sent)
+	}
+	if rep.Dropped == 0 || rep.Offered != rep.Sent+rep.Dropped {
+		t.Errorf("offered/sent/dropped = %d/%d/%d", rep.Offered, rep.Sent, rep.Dropped)
+	}
+}
+
+func TestRunZipfSkewsBodySelection(t *testing.T) {
+	bodies, err := Bodies(8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot atomic.Int64
+	var total atomic.Int64
+	hotLen := int64(len(bodies[0]))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total.Add(1)
+		if r.ContentLength == hotLen {
+			hot.Add(1)
+		}
+	}))
+	defer ts.Close()
+
+	if _, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		RPS:      400,
+		Duration: 250 * time.Millisecond,
+		Timeout:  time.Second,
+		Bodies:   bodies,
+		Zipf:     1.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tot := total.Load(); tot == 0 || float64(hot.Load())/float64(tot) < 0.3 {
+		t.Errorf("hottest body got %d of %d requests, want zipf-skewed majority share", hot.Load(), total.Load())
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero rps":      {Duration: time.Second, Bodies: [][]byte{[]byte("x")}},
+		"zero duration": {RPS: 1, Bodies: [][]byte{[]byte("x")}},
+		"no bodies":     {RPS: 1, Duration: time.Second},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

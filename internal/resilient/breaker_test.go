@@ -3,6 +3,8 @@ package resilient
 import (
 	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -185,5 +187,122 @@ func TestBreakerNil(t *testing.T) {
 	}
 	if s := b.Stats(); s.State != "closed" {
 		t.Errorf("nil breaker stats = %+v", s)
+	}
+}
+
+// TestBreakerConcurrentHalfOpenProbes: when the cooldown elapses and
+// many goroutines race Allow simultaneously, exactly one is admitted
+// as the half-open probe; every loser fails fast with ErrOpen instead
+// of queueing behind it. The probe's success then closes the breaker
+// for everyone.
+func TestBreakerConcurrentHalfOpenProbes(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	if st := b.State(); st != Open {
+		t.Fatalf("state = %v after threshold failures, want open", st)
+	}
+	clock.advance(5 * time.Second) // cooldown over: next Allow is the probe
+
+	const racers = 32
+	var wg sync.WaitGroup
+	var admitted, rejected atomic.Int32
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			switch err := b.Allow(); {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrOpen):
+				rejected.Add(1)
+			default:
+				t.Errorf("unexpected Allow error: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("admitted %d probes, want exactly 1", got)
+	}
+	if got := rejected.Load(); got != racers-1 {
+		t.Fatalf("rejected %d, want %d (losers fail fast)", got, racers-1)
+	}
+
+	// While the probe is still in flight the slot stays taken.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second probe admitted while first in flight: %v", err)
+	}
+	b.Record(true) // the winner reports success
+	if st := b.State(); st != Closed {
+		t.Fatalf("state = %v after probe success, want closed", st)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected traffic: %v", err)
+	}
+	b.Record(true)
+}
+
+// TestBreakerFailedProbeReopensUnderRace: a failed probe re-opens the
+// breaker and restarts the cooldown — concurrent callers racing the
+// Record keep getting ErrOpen, and the next probe is again singular.
+func TestBreakerFailedProbeReopensUnderRace(t *testing.T) {
+	clock := newFakeClock()
+	b := newTestBreaker(clock)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	clock.advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Record(false) // probe fails concurrently with the Allow storm
+	}()
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Allow(); err == nil {
+				// Raced ahead of the failing Record while half-open: that
+				// caller holds the probe slot and must report an outcome.
+				b.Record(false)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := b.State(); st != Open {
+		t.Fatalf("state = %v after failed probe, want open", st)
+	}
+	// Cooldown restarts from the failure: still rejecting now...
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted during cooldown: %v", err)
+	}
+	// ...and exactly one probe again once it elapses.
+	clock.advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.Record(true)
+	if st := b.State(); st != Closed {
+		t.Fatalf("state = %v, want closed", st)
 	}
 }
