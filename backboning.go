@@ -64,6 +64,20 @@ type EdgeKey = graph.EdgeKey
 // method. Prune it with Threshold, TopK or TopFraction.
 type Scores = filter.Scores
 
+// Update is one incremental edge change (upsert or delete) applied to
+// a Delta overlay; see Graph.WithUpdates.
+type Update = graph.Update
+
+// Delta is a mutable overlay of pending edge updates over an immutable
+// Graph; materialize with its Graph method. Obtain one with
+// Graph.WithUpdates or graph-package NewDelta.
+type Delta = graph.Delta
+
+// Dirty records what a Delta materialization invalidated relative to
+// the previous one; feed it to WithDirtyScores to re-score only the
+// affected rows.
+type Dirty = graph.Dirty
+
 // EdgeStats holds the Noise-Corrected statistics of a single edge:
 // null expectation, lift, symmetrized score, posterior variance.
 type EdgeStats = core.EdgeStats

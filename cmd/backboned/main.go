@@ -5,7 +5,7 @@
 //
 //	backboned [-addr :8080] [-workers N] [-timeout 60s] [-max-body 256MiB]
 //	          [-graph-cache-mb 256] [-score-cache-mb 128] [-graphdir dir]
-//	          [-pprof addr]
+//	          [-max-sessions 256] [-pprof addr]
 //	          [-peers host:port,... -self host:port] [-peer-timeout 10s]
 //	          [-chaos spec]
 //
@@ -15,10 +15,16 @@
 //	GET  /formats    registered edge-list formats as JSON
 //	GET  /healthz    liveness probe (200 until the process exits)
 //	GET  /readyz     routability probe (503 once SIGTERM drain begins)
-//	GET  /statsz     uptime, request, cache, evaluate and fleet counters as JSON
+//	GET  /statsz     uptime, request, cache, evaluate, session and fleet counters as JSON
+//	GET  /metricsz   the same counters in Prometheus text exposition format
 //	POST /backbone   extract a backbone from the request body's edge list
 //	POST /score      per-edge significance table for the body's edge list
 //	POST /evaluate   grade every method on the body's edge list (JSON report)
+//	POST /session    open an incremental session over the body's edge list
+//	POST /session/{id}/update      batched edge upserts/deletes into a session
+//	GET  /session/{id}/backbone    backbone of the session's current edge set
+//	GET  /session/{id}/score       score table of the session's current edge set
+//	DELETE /session/{id}           close a session
 //
 // The POST body is an edge list in any registered format (csv, tsv,
 // ndjson; gzip accepted; format sniffed from content unless ?format=
@@ -80,6 +86,19 @@
 // locality, never correctness. Every peer runs the same flags with the
 // same -peers list (order irrelevant) and its own -self.
 //
+// Sessions serve live incremental updates: POST /session parses a body
+// once and pins a delta overlay over the parsed graph; POST
+// /session/{id}/update applies batched edge upserts/deletes
+// ({"updates":[{"src":"a","dst":"b","weight":2}]}, weight 0 deletes);
+// GET /session/{id}/backbone|/score answer for the updated edge set by
+// re-scoring only the rows the updates could have changed — the result
+// is bit-identical to re-posting the whole modified edge list, at a
+// small fraction of the cost. Sessions are LRU-bounded by
+// -max-sessions. In fleet mode a session ID embeds the creating body's
+// digest, pinning all session traffic to the body's rendezvous owner;
+// an unreachable owner is a 503 (sessions never degrade to a peer that
+// does not hold the delta).
+//
 // -chaos injects faults into the local serving path for resilience
 // testing: "error=0.2,latency=50ms,latency-rate=0.5,partial=0.1"
 // injects errors, latency and truncated responses at those rates.
@@ -115,6 +134,7 @@ func main() {
 		graphCache = flag.Int64("graph-cache-mb", 256, "parsed-graph cache budget in MiB (0 disables)")
 		scoreCache = flag.Int64("score-cache-mb", 128, "score-table cache budget in MiB (0 disables)")
 		graphDir   = flag.String("graphdir", "", "directory of <sha256>.bbg files to mmap instead of parsing matching request bodies")
+		maxSess    = flag.Int("max-sessions", defaultMaxSessions, "maximum resident incremental sessions (LRU-evicted past this)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (empty disables)")
 		peersFlag  = flag.String("peers", "", "comma-separated fleet membership (host:port,...); empty = single-node")
 		selfAddr   = flag.String("self", "", "this daemon's advertised address within -peers")
@@ -164,6 +184,7 @@ func main() {
 		graphCacheBytes: *graphCache << 20,
 		scoreCacheBytes: *scoreCache << 20,
 		graphDir:        *graphDir,
+		maxSessions:     *maxSess,
 		fleet:           fl,
 		fault:           fault,
 		logf:            logger.Printf,

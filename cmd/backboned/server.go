@@ -81,7 +81,11 @@ type serverConfig struct {
 	// into the local serving path (-chaos and the fault-injection
 	// tests).
 	fault *resilient.Fault
-	logf  func(format string, args ...any)
+	// maxSessions bounds resident incremental sessions (POST /session);
+	// 0 selects defaultMaxSessions. The least-recently-used session is
+	// evicted past the bound.
+	maxSessions int
+	logf        func(format string, args ...any)
 }
 
 // server is the backboned HTTP front end: a mux over the method
@@ -137,6 +141,28 @@ type server struct {
 	// fleet is nil in single-node mode. fault is nil without -chaos.
 	fleet *fleet.Fleet
 	fault *resilient.Fault
+	// Incremental sessions (POST /session and friends, session.go):
+	// sessMu guards the map and each session's lastUsed recency stamp.
+	sessMu      sync.Mutex
+	sessions    map[string]*session
+	maxSessions int
+	// Session counters. sessionInvalidations is the delta-invalidation
+	// count the tentpole asks for: how many per-session score tables an
+	// update stream dirtied (each will re-score only its dirty rows on
+	// the next read). sessionRescoredRows totals those dirty rows;
+	// sessionFullRescores counts reads that re-scored the whole table
+	// (first touch, or a method with a global dirtiness signature).
+	// sessionOwnerMiss counts 503s where the session's rendezvous owner
+	// was unreachable — stateful routes never degrade to local.
+	sessionCreates       atomic.Uint64
+	sessionUpdates       atomic.Uint64
+	sessionReads         atomic.Uint64
+	sessionDeletes       atomic.Uint64
+	sessionEvictions     atomic.Uint64
+	sessionInvalidations atomic.Uint64
+	sessionRescoredRows  atomic.Uint64
+	sessionFullRescores  atomic.Uint64
+	sessionOwnerMiss     atomic.Uint64
 	// draining flips when graceful shutdown begins: /readyz turns 503
 	// so load balancers and peers stop routing here, while /healthz
 	// stays 200 (the process is alive, just leaving).
@@ -179,16 +205,32 @@ func newServer(cfg serverConfig) *server {
 		fleet:     cfg.fleet,
 		fault:     cfg.fault,
 		start:     time.Now(),
+
+		sessions:    map[string]*session{},
+		maxSessions: cfg.maxSessions,
+	}
+	if s.maxSessions <= 0 {
+		s.maxSessions = defaultMaxSessions
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("/methods", s.handleMethods)
 	s.mux.HandleFunc("/formats", s.handleFormats)
 	s.mux.HandleFunc("/backbone", s.handleRun)
 	s.mux.HandleFunc("/score", s.handleRun)
 	s.mux.HandleFunc("/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /session/{id}/update", s.handleSessionUpdate)
+	s.mux.HandleFunc("GET /session/{id}/backbone", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSessionRead(w, r, false)
+	})
+	s.mux.HandleFunc("GET /session/{id}/score", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSessionRead(w, r, true)
+	})
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	return s
 }
 
@@ -260,10 +302,16 @@ GET  /methods            registered methods and their parameter schemas (JSON)
 GET  /formats            registered edge-list formats (JSON)
 GET  /healthz            liveness probe (200 until the process exits)
 GET  /readyz             routability probe (503 once SIGTERM drain begins)
-GET  /statsz             uptime, request, cache, admission and fleet counters (JSON)
+GET  /statsz             uptime, request, cache, admission, session and fleet counters (JSON)
+GET  /metricsz           the same counters in Prometheus text exposition format
 POST /backbone           extract a backbone from the edge list in the body
 POST /score              per-edge significance table for the body's edge list
 POST /evaluate           grade every method on the body's edge list (JSON report)
+POST /session            open an incremental session over the body's edge list
+POST /session/{id}/update   apply batched edge upserts/deletes to a session
+GET  /session/{id}/backbone backbone of the session's current edge set (incremental)
+GET  /session/{id}/score    score table of the session's current edge set (incremental)
+DELETE /session/{id}        close a session
 
 Query parameters for POST: method (default nc), any method parameter
 (delta, alpha, ...), top, frac, parallel, directed, format (input),
@@ -292,11 +340,25 @@ budget, integer milliseconds); an exhausted budget is refused with 504
 before any work runs, and fleet forwards re-stamp the header minus the
 estimated transit cost per attempt.
 
+Sessions make updates cheap: POST /session parses the body once and
+answers with a session ID; POST /session/{id}/update applies batched
+edge upserts/deletes ({"updates":[{"src":"a","dst":"b","weight":2}]},
+weight 0 deletes); GET /session/{id}/backbone|/score answer for the
+updated edge set by re-scoring only the rows the updates could have
+changed — bit-identical to re-posting the whole modified edge list,
+without re-parsing, rebuilding or re-scoring it. Responses carry
+X-Backbone-Rescored (rows re-scored by this read) next to the usual
+headers. Sessions are bounded by -max-sessions (LRU-evicted past it)
+and closed with DELETE /session/{id}.
+
 In fleet mode (-peers/-self) each request body is routed to its owning
 peer by content digest; responses carry X-Backbone-Served-By (the peer
 that computed the answer) and, when the owner was unreachable and this
 peer computed the result itself, X-Backbone-Degraded with the reason
-(peer-unavailable | breaker-open).
+(peer-unavailable | breaker-open). Session IDs embed the creating
+body's digest, so session traffic pins to the body's rendezvous owner;
+because only the owner holds the session state, an unreachable owner
+is a 503 (retry later), never a degraded local answer.
 `)
 }
 
@@ -643,17 +705,29 @@ func (s *server) resolveGraph(ctx context.Context, r *http.Request, body []byte)
 
 // parseRun turns the HTTP request (body already read in full) into a
 // runRequest: the graph via resolveGraph, then method selection,
-// parameters and response shaping. The int return is the HTTP status
-// when err != nil.
+// parameters and response shaping via parseRunOptions. The int return
+// is the HTTP status when err != nil.
 func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*runRequest, int, error) {
-	q := r.URL.Query()
 	req := &runRequest{}
-
 	g, gkey, env, outFormat, status, err := s.resolveGraph(ctx, r, body)
 	if err != nil {
 		return nil, status, err
 	}
 	req.g, req.gkey, req.outFormat = g, gkey, outFormat
+	if status, err := s.parseRunOptions(r, env, req); err != nil {
+		return nil, status, err
+	}
+	return req, 0, nil
+}
+
+// parseRunOptions fills a runRequest's method, parameters, pruning and
+// response shaping from the query string (and, when the body was a
+// JSON envelope, the envelope's fields — query overrides envelope).
+// Shared between the stateless scoring endpoints (after resolveGraph)
+// and the session read endpoints (whose graph lives in the session).
+// The int return is the HTTP status when err != nil.
+func (s *server) parseRunOptions(r *http.Request, env *envelope, req *runRequest) (int, error) {
+	q := r.URL.Query()
 
 	// Method selection and parameters: query overrides envelope.
 	methodName := "nc"
@@ -665,7 +739,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 	}
 	m, err := repro.LookupMethod(methodName)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return http.StatusBadRequest, err
 	}
 	req.method = m
 	req.params = filter.Params{}
@@ -699,7 +773,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 			continue
 		}
 		if _, ok := m.Param(name); !ok {
-			return nil, http.StatusBadRequest, &repro.ParamError{
+			return http.StatusBadRequest, &repro.ParamError{
 				Method: m.Name, Param: name,
 				Reason: "unknown query parameter",
 				Err:    repro.ErrUnknownParam,
@@ -707,7 +781,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 		}
 		v, err := strconv.ParseFloat(vals[0], 64)
 		if err != nil {
-			return nil, http.StatusBadRequest, &repro.ParamError{
+			return http.StatusBadRequest, &repro.ParamError{
 				Method: m.Name, Param: name,
 				Reason: fmt.Sprintf("not a number: %q", vals[0]),
 			}
@@ -718,7 +792,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 	if v := q.Get("top"); v != "" {
 		k, err := strconv.Atoi(v)
 		if err != nil {
-			return nil, http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)}
+			return http.StatusBadRequest, &repro.ParamError{Param: "top", Reason: fmt.Sprintf("not an integer: %q", v)}
 		}
 		req.topSet = true
 		req.opts = append(req.opts, repro.WithTopK(k))
@@ -726,7 +800,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 	if v := q.Get("frac"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			return nil, http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)}
+			return http.StatusBadRequest, &repro.ParamError{Param: "frac", Reason: fmt.Sprintf("not a number: %q", v)}
 		}
 		req.topSet = true
 		req.opts = append(req.opts, repro.WithTopFraction(f))
@@ -740,7 +814,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 	if v := q.Get("outformat"); v != "" {
 		f, err := repro.LookupFormat(v)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return http.StatusBadRequest, err
 		}
 		req.outFormat = f.Name
 	}
@@ -750,7 +824,7 @@ func (s *server) parseRun(ctx context.Context, r *http.Request, body []byte) (*r
 	if q.Get("response") == "json" || strings.Contains(r.Header.Get("Accept"), "application/json") {
 		req.asJSON = true
 	}
-	return req, 0, nil
+	return 0, nil
 }
 
 // cachedScores resolves one method's significance table for a parsed
@@ -1383,6 +1457,18 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"evaluate": map[string]uint64{
 			"requests":    s.evalRequests.Load(),
 			"cache_skips": s.evalCacheSkips.Load(),
+		},
+		"sessions": map[string]any{
+			"active":              s.sessionCount(),
+			"creates":             s.sessionCreates.Load(),
+			"updates":             s.sessionUpdates.Load(),
+			"reads":               s.sessionReads.Load(),
+			"deletes":             s.sessionDeletes.Load(),
+			"evictions":           s.sessionEvictions.Load(),
+			"delta_invalidations": s.sessionInvalidations.Load(),
+			"rescored_rows":       s.sessionRescoredRows.Load(),
+			"full_rescores":       s.sessionFullRescores.Load(),
+			"owner_unavailable":   s.sessionOwnerMiss.Load(),
 		},
 		"admission": struct {
 			admission.Stats

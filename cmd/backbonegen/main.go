@@ -7,7 +7,7 @@
 //	backbonegen -url http://localhost:8080 [-path /backbone] [-query method=nc]
 //	            [-rps 50] [-ramp-to 0] [-duration 30s] [-timeout 5s]
 //	            [-bodies 8] [-edges 2000] [-zipf 1.2] [-seed 1]
-//	            [-max-in-flight 512] [-json] [-statsz]
+//	            [-max-in-flight 512] [-update-fraction 0] [-json] [-statsz]
 //
 // The generator synthesizes -bodies distinct edge-list request bodies
 // of roughly -edges edges each (deterministic in -seed) and POSTs one
@@ -19,6 +19,13 @@
 // goodput — is exactly what the report shows. Every request carries
 // X-Backbone-Deadline (the -timeout budget in milliseconds), arming
 // the daemon's deadline-aware admission and fleet propagation.
+//
+// -update-fraction > 0 switches to a mixed incremental workload: one
+// live session is opened per body before the clock starts, and that
+// share of arrivals POSTs a single-edge update to the selected body's
+// session while the rest GET its backbone — driving the daemon's
+// delta/re-scoring path under the same open-loop pressure. The report
+// then breaks outcomes and latencies down per operation.
 //
 // -json emits the full report as JSON on stdout (the human summary
 // goes to stderr); -statsz additionally fetches the daemon's /statsz
@@ -54,6 +61,7 @@ func main() {
 		zipf     = flag.Float64("zipf", 1.2, "zipf exponent for body selection (hot-key skew); <= 1 selects uniformly")
 		seed     = flag.Int64("seed", 1, "RNG seed for body synthesis and selection")
 		maxInfl  = flag.Int("max-in-flight", 512, "client-side concurrent request cap; arrivals past it count as dropped")
+		updFrac  = flag.Float64("update-fraction", 0, "share of arrivals sent as session updates (rest are session reads); 0 keeps the stateless POST workload")
 		asJSON   = flag.Bool("json", false, "emit the full report as JSON on stdout")
 		statsz   = flag.Bool("statsz", false, "fetch the daemon's /statsz after the run (JSON report only)")
 	)
@@ -76,17 +84,18 @@ func main() {
 		*duration, *bodies, *edges, *zipf, *timeout)
 
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		URL:         *url,
-		Path:        *path,
-		Query:       *query,
-		RPS:         *rps,
-		RampTo:      *rampTo,
-		Duration:    *duration,
-		Timeout:     *timeout,
-		Bodies:      work,
-		Zipf:        *zipf,
-		Seed:        *seed,
-		MaxInFlight: *maxInfl,
+		URL:            *url,
+		Path:           *path,
+		Query:          *query,
+		RPS:            *rps,
+		RampTo:         *rampTo,
+		Duration:       *duration,
+		Timeout:        *timeout,
+		Bodies:         work,
+		Zipf:           *zipf,
+		Seed:           *seed,
+		MaxInFlight:    *maxInfl,
+		UpdateFraction: *updFrac,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "backbonegen: %v\n", err)
@@ -132,6 +141,25 @@ func printSummary(w *os.File, rep *loadgen.Report) {
 				s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
 		}
 		fmt.Fprintln(w, line)
+	}
+	ops := make([]string, 0, len(rep.Ops))
+	for op := range rep.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		for _, o := range outcomes {
+			n := rep.Ops[op][loadgen.Outcome(o)]
+			if n == 0 {
+				continue
+			}
+			line := fmt.Sprintf("  %-8s %-8s %6d", op, o, n)
+			if s, ok := rep.OpLatency[op][loadgen.Outcome(o)]; ok && s.Count > 0 {
+				line += fmt.Sprintf("  p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms",
+					s.P50Ms, s.P90Ms, s.P99Ms, s.MaxMs)
+			}
+			fmt.Fprintln(w, line)
+		}
 	}
 	fmt.Fprintf(w, "goodput: %.1f rps\n", rep.GoodputRPS)
 	if rep.RetryAfterCount > 0 {

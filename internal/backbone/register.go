@@ -19,6 +19,10 @@ func init() {
 		Scorer:         NewDisparity(),
 		ParallelScorer: filter.Parallelize(NewDisparity()),
 		Cut:            func(p filter.Params) float64 { return 1 - p["alpha"] },
+		// The disparity p-value reads only the edge weight and its
+		// endpoints' strength/degree: an update dirties the frontier of
+		// rows incident to touched nodes.
+		Delta: &filter.DeltaScorer{Dirtiness: filter.DirtyEndpoints},
 	})
 	filter.MustRegister(&filter.Method{
 		Name:  "hss",
@@ -60,6 +64,9 @@ func init() {
 		Scorer:         NewNaive(),
 		ParallelScorer: filter.Parallelize(NewNaive()),
 		Cut:            func(p filter.Params) float64 { return p["threshold"] },
+		// The naive score is the edge weight itself: only rows whose
+		// weight changed (or were inserted) dirty.
+		Delta: &filter.DeltaScorer{Dirtiness: filter.DirtyEdge},
 	})
 	filter.MustRegister(&filter.Method{
 		Name:  "kcore",

@@ -22,6 +22,10 @@ func init() {
 		Scorer:         New(),
 		ParallelScorer: NewParallel(),
 		Cut:            func(p filter.Params) float64 { return p["delta"] },
+		// The NC score reads the global total weight (N..), so any
+		// update dirties every row: incremental serving reuses the
+		// materialized graph but re-scores the full table.
+		Delta: &filter.DeltaScorer{Dirtiness: filter.DirtyGlobal},
 	})
 	filter.MustRegister(&filter.Method{
 		Name:  "nc-binomial",
@@ -34,5 +38,7 @@ func init() {
 		Scorer:         NewBinomial(),
 		ParallelScorer: filter.Parallelize(NewBinomial()),
 		Cut:            func(p filter.Params) float64 { return -math.Log10(p["alpha"]) },
+		// Same global N.. term as nc: every row dirties on any update.
+		Delta: &filter.DeltaScorer{Dirtiness: filter.DirtyGlobal},
 	})
 }

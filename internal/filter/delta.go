@@ -1,0 +1,338 @@
+package filter
+
+// Incremental re-scoring: given a score table computed for one graph
+// and the graph.Dirty record tying it to a delta-materialized
+// successor, RescoreDirty produces the successor's table by copying
+// every row the update stream cannot have changed and re-running the
+// scorer only on the dirty rows. Which rows an update dirties is the
+// method's dirtiness signature, declared on the registry Method via the
+// DeltaScorer capability; methods without it fall back to a full
+// rescore transparently, so callers never branch on capability.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Dirtiness classifies how far one edge update reaches into a method's
+// score table.
+type Dirtiness int
+
+const (
+	// DirtyEdge marks scores that are functions of the edge's own
+	// weight only (naive threshold): an update dirties exactly the rows
+	// whose weight changed, plus inserted rows.
+	DirtyEdge Dirtiness = iota
+	// DirtyEndpoints marks scores that additionally read endpoint
+	// strength or degree (disparity): an update dirties the frontier —
+	// every row incident to a touched node.
+	DirtyEndpoints
+	// DirtyGlobal marks scores with a global term (noise-corrected's
+	// total weight): any update dirties the whole table. The
+	// incremental path still skips parsing and CSR assembly but
+	// re-scores every row.
+	DirtyGlobal
+)
+
+// String names the signature for logs and docs.
+func (d Dirtiness) String() string {
+	switch d {
+	case DirtyEdge:
+		return "edge"
+	case DirtyEndpoints:
+		return "endpoints"
+	case DirtyGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("Dirtiness(%d)", int(d))
+}
+
+// DeltaScorer is the incremental re-scoring capability a Method may
+// declare. A method that declares one must have a Scorer implementing
+// RangeScorer (Method.validate enforces this), so dirty row runs can be
+// recomputed in place on a fresh table.
+type DeltaScorer struct {
+	// Dirtiness is the method's dirtiness signature: how far one edge
+	// update reaches into its score table.
+	Dirtiness Dirtiness
+}
+
+// RescoreDirty computes method m's score table for dirty.For, reusing
+// rows from old — the table previously computed for dirty.Base — that
+// the update stream between the two graphs cannot have changed. The
+// result is bit-identical to scoring dirty.For from scratch; the int
+// result is the number of rows actually re-scored.
+//
+// Fallback is transparent: if m declares no DeltaScorer capability, its
+// scorer is not a RangeScorer, old is nil, or old was computed for a
+// different graph than dirty.Base, the full ScoreCtx path runs instead
+// (and the rescored count is the table size).
+func RescoreDirty(ctx context.Context, m *Method, old *Scores, dirty graph.Dirty, o ScoreOpts) (*Scores, int, error) {
+	g := dirty.For
+	if g == nil {
+		return nil, 0, fmt.Errorf("filter: RescoreDirty: dirty record has no target graph")
+	}
+	rs, ranged := m.Scorer.(RangeScorer)
+	if m.Delta == nil || !ranged || old == nil || old.G != dirty.Base ||
+		old.Method != m.Scorer.Name() || m.Delta.Dirtiness == DirtyGlobal {
+		s, err := m.ScoreCtx(ctx, g, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s, g.NumEdges(), nil
+	}
+
+	// Fast path: a delta materialization already knows the row-level
+	// diff between the two graphs (graph.RowDiff), so clean rows are
+	// carried over through the precomputed segment map and the dirty
+	// set is read off the diff — no O(m) lockstep walk over the edge
+	// slices. When the previous generation is surrendered
+	// (Dirty.Exclusive) the old columns themselves become the new
+	// table, segments shifted in place; otherwise they are block-copied
+	// into a fresh table.
+	if diff := dirty.Diff; diff != nil {
+		var s *Scores
+		if dirty.Exclusive {
+			// The migration mutates the surrendered columns, so it must
+			// not fail once started: one ctx check up front, none in
+			// the (frontier-sized, bounded) rescore loop below.
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			s = migrateTable(old, g, diff)
+		} else {
+			var err error
+			s, err = rs.NewTable(g)
+			if err != nil {
+				return nil, 0, err
+			}
+			cols, ok := pairColumns(s, old)
+			if !ok {
+				// Aux layout mismatch between the two tables — should
+				// not happen for one method, but a full rescore is
+				// always correct.
+				full, ferr := m.ScoreCtx(ctx, g, o)
+				if ferr != nil {
+					return nil, 0, ferr
+				}
+				return full, g.NumEdges(), nil
+			}
+			for _, c := range cols {
+				for _, sc := range diff.Copies {
+					copy(c.dst[sc.ForLo:sc.ForLo+sc.Len], c.src[sc.BaseLo:sc.BaseLo+sc.Len])
+				}
+			}
+		}
+		rows := diff.Changed
+		if m.Delta.Dirtiness == DirtyEndpoints {
+			rows = diff.Frontier
+		}
+		rescored := 0
+		for i := 0; i < len(rows); {
+			if !dirty.Exclusive {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
+			lo := int(rows[i])
+			hi := lo + 1
+			i++
+			for i < len(rows) && int(rows[i]) == hi && hi-lo < Checkpoint {
+				hi++
+				i++
+			}
+			rs.ScoreEdges(s, lo, hi)
+			rescored += hi - lo
+		}
+		return s, rescored, nil
+	}
+
+	s, err := rs.NewTable(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	cols, ok := pairColumns(s, old)
+	if !ok {
+		// Aux layout mismatch between the two tables — should not
+		// happen for one method, but a full rescore is always correct.
+		full, ferr := m.ScoreCtx(ctx, g, o)
+		if ferr != nil {
+			return nil, 0, ferr
+		}
+		return full, g.NumEdges(), nil
+	}
+
+	var dirtyNode []bool
+	if m.Delta.Dirtiness == DirtyEndpoints {
+		dirtyNode = make([]bool, g.NumNodes())
+		for _, u := range dirty.Nodes {
+			dirtyNode[u] = true
+		}
+	}
+
+	dirtyRuns := planRescore(old.G.Edges(), g.Edges(), dirtyNode, cols)
+
+	rescored := 0
+	for _, r := range dirtyRuns {
+		for lo := r[0]; lo < r[1]; lo += Checkpoint {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			hi := lo + Checkpoint
+			if hi > r[1] {
+				hi = r[1]
+			}
+			rs.ScoreEdges(s, lo, hi)
+			rescored += hi - lo
+		}
+	}
+	return s, rescored, nil
+}
+
+// tableSlack is the extra capacity a migrated column is reallocated
+// with, so a run of insert-heavy updates pays for one reallocation and
+// then shifts in place until the delta compacts.
+const tableSlack = 4096
+
+// migrateTable turns the surrendered previous-generation table into
+// g's: every column whose capacity admits the new row count is resliced
+// and its clean segments shifted in place — a pure re-weight batch
+// moves nothing, since zero-shift segments are skipped — and columns
+// that must grow beyond capacity (NewTable allocates exact-capacity
+// columns, so the first insert after a full scoring lands here) are
+// reallocated once with slack. Dirty rows are left stale; the caller
+// re-scores all of them. The structure (Method, Aux names) is cloned
+// from the old table, which the delta-capable scorers' NewTable
+// implementations produce from those same fields alone.
+func migrateTable(old *Scores, g *graph.Graph, diff *graph.RowDiff) *Scores {
+	newM := g.NumEdges()
+	move := func(src []float64) []float64 {
+		if cap(src) >= newM {
+			// Shift within the shared backing; sources are read through
+			// src (the old length) since a shrinking batch leaves them
+			// beyond the new length.
+			dst := src[:newM]
+			for _, sc := range diff.Copies {
+				if sc.ForLo < sc.BaseLo {
+					copy(dst[sc.ForLo:sc.ForLo+sc.Len], src[sc.BaseLo:sc.BaseLo+sc.Len])
+				}
+			}
+			for k := len(diff.Copies) - 1; k >= 0; k-- {
+				sc := diff.Copies[k]
+				if sc.ForLo > sc.BaseLo {
+					copy(dst[sc.ForLo:sc.ForLo+sc.Len], src[sc.BaseLo:sc.BaseLo+sc.Len])
+				}
+			}
+			return dst
+		}
+		dst := make([]float64, newM, newM+tableSlack)
+		for _, sc := range diff.Copies {
+			copy(dst[sc.ForLo:sc.ForLo+sc.Len], src[sc.BaseLo:sc.BaseLo+sc.Len])
+		}
+		return dst
+	}
+	s := &Scores{G: g, Method: old.Method, Score: move(old.Score)}
+	if len(old.Aux) > 0 {
+		s.Aux = make(map[string][]float64, len(old.Aux))
+		//lint:detiter-ok writes into a fresh map; iteration order is irrelevant
+		for name, col := range old.Aux {
+			s.Aux[name] = move(col)
+		}
+	}
+	return s
+}
+
+// colPair ties one destination column of the new table to its source
+// column in the old table.
+type colPair struct{ dst, src []float64 }
+
+// pairColumns lines up the Score and Aux columns of the new and old
+// tables; ok is false when the old table is missing a column the new
+// one has.
+func pairColumns(s, old *Scores) ([]colPair, bool) {
+	cols := []colPair{{dst: s.Score, src: old.Score}}
+	names := make([]string, 0, len(s.Aux))
+	//lint:detiter-ok keys are sorted before use
+	for name := range s.Aux {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, ok := old.Aux[name]
+		if !ok {
+			return nil, false
+		}
+		cols = append(cols, colPair{dst: s.Aux[name], src: src})
+	}
+	return cols, true
+}
+
+// planRescore walks old and new canonical edge slices in lockstep,
+// copies clean rows from the old columns into the new ones (in
+// contiguous runs, so the copies are memmoves) and returns the [lo, hi)
+// row runs that must be re-scored. A new row is clean when it matches
+// an old edge bit-for-bit in weight and — when an endpoint frontier
+// applies — touches no dirty node; inserted rows and rows whose weight
+// changed are dirty, and deleted old edges only break run contiguity.
+func planRescore(oldEdges, newEdges []graph.Edge, dirtyNode []bool, cols []colPair) [][2]int {
+	var runs [][2]int
+	markDirty := func(row int) {
+		if k := len(runs); k > 0 && runs[k-1][1] == row {
+			runs[k-1][1] = row + 1
+			return
+		}
+		runs = append(runs, [2]int{row, row + 1})
+	}
+	// Current clean run: new rows [runNew, runNew+runLen) mirror old
+	// rows [runOld, runOld+runLen). Matched pairs advance both cursors
+	// together, so an unbroken run is contiguous on both sides.
+	runNew, runOld, runLen := 0, 0, 0
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		for _, c := range cols {
+			copy(c.dst[runNew:runNew+runLen], c.src[runOld:runOld+runLen])
+		}
+		runLen = 0
+	}
+	i, j := 0, 0
+	for j < len(newEdges) {
+		if i < len(oldEdges) {
+			oe, ne := oldEdges[i], newEdges[j]
+			if oe.Src == ne.Src && oe.Dst == ne.Dst {
+				clean := math.Float64bits(oe.Weight) == math.Float64bits(ne.Weight) &&
+					(dirtyNode == nil || (!dirtyNode[ne.Src] && !dirtyNode[ne.Dst]))
+				if clean {
+					if runLen == 0 {
+						runNew, runOld = j, i
+					}
+					runLen++
+				} else {
+					flush()
+					markDirty(j)
+				}
+				i++
+				j++
+				continue
+			}
+			if oe.Src < ne.Src || (oe.Src == ne.Src && oe.Dst < ne.Dst) {
+				// Old edge deleted: no new row, but the old-side cursor
+				// jumps, so any open run must flush.
+				flush()
+				i++
+				continue
+			}
+		}
+		// New edge with no old counterpart: inserted, always dirty.
+		flush()
+		markDirty(j)
+		j++
+	}
+	flush()
+	return runs
+}

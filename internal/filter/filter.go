@@ -76,13 +76,18 @@ func (s *Scores) Validate() error {
 }
 
 // Threshold returns the backbone keeping edges with Score > t.
-// The full node set is preserved so coverage can be measured.
+// The full node set is preserved so coverage can be measured. One pass:
+// survivors are collected directly off the score column and handed to
+// SubgraphEdges, skipping the keep mask and its extra edge-slice scans.
 func (s *Scores) Threshold(t float64) *graph.Graph {
-	keep := make([]bool, len(s.Score))
+	all := s.G.Edges()
+	var edges []graph.Edge
 	for id, v := range s.Score {
-		keep[id] = v > t
+		if v > t {
+			edges = append(edges, all[id])
+		}
 	}
-	return s.G.Subgraph(keep)
+	return s.G.SubgraphEdges(edges)
 }
 
 // CountAbove returns how many edges have Score > t.

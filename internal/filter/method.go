@@ -91,6 +91,12 @@ type Method struct {
 	// df: 1−α; nc-binomial: −log10 α; kcore: k−½). Nil when the default
 	// backbone comes from Extractor instead.
 	Cut func(p Params) float64
+	// Delta, when non-nil, declares the method's incremental
+	// re-scoring capability — its dirtiness signature (delta.go).
+	// Requires Scorer to implement RangeScorer so RescoreDirty can
+	// recompute dirty row runs in place; methods that leave it nil get
+	// a transparent full-rescore fallback.
+	Delta *DeltaScorer
 }
 
 // Param returns the schema entry with the given name.
@@ -278,6 +284,11 @@ func (m *Method) validate() error {
 			return fmt.Errorf("filter: method %q parameter %q collides with a reserved pipeline option name", m.Name, p.Name)
 		}
 		seen[p.Name] = true
+	}
+	if m.Delta != nil {
+		if _, ok := m.Scorer.(RangeScorer); !ok {
+			return fmt.Errorf("filter: method %q declares a delta capability but its scorer is not a RangeScorer", m.Name)
+		}
 	}
 	return nil
 }

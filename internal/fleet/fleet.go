@@ -245,12 +245,22 @@ var ErrPeerUnavailable = errors.New("fleet: peer unavailable")
 // peer's breaker says stop, and the error then wraps
 // ErrPeerUnavailable.
 func (f *Fleet) Forward(ctx context.Context, addr string, d Digest, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
+	return f.ForwardRequest(ctx, addr, d, http.MethodPost, path, rawQuery, contentType, accept, body)
+}
+
+// ForwardRequest is Forward with an explicit HTTP method — session
+// reads ride rendezvous routing as GETs (nil body), session deletes as
+// DELETEs. The coalescing key includes the method, and d is the
+// caller's coalescing identity: for stateless runs the body digest, for
+// stateful session updates a digest of the update payload (two distinct
+// updates to one session must never collapse into one upstream call).
+func (f *Fleet) ForwardRequest(ctx context.Context, addr string, d Digest, method, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
 	p := f.peers[addr]
 	if p == nil || addr == f.self {
 		return nil, fmt.Errorf("%w: %q is not a forwardable peer", ErrPeerUnavailable, addr)
 	}
 	p.forwards.Add(1)
-	key := flightKey{digest: d, path: path, query: rawQuery, contentType: contentType}
+	key := flightKey{digest: d, method: method, path: path, query: rawQuery, contentType: contentType}
 	resp, _, err := f.flights.do(ctx, key, func() (*Response, error) {
 		var out *Response
 		err := f.retry.Do(ctx, func(ctx context.Context, attempt int) error {
@@ -263,7 +273,7 @@ func (f *Fleet) Forward(ctx context.Context, addr string, d Digest, path, rawQue
 				// out a cooldown.
 				return resilient.Permanent(err)
 			}
-			resp, err := f.attemptForward(ctx, p, path, rawQuery, contentType, accept, body)
+			resp, err := f.attemptForward(ctx, p, method, path, rawQuery, contentType, accept, body)
 			if err != nil {
 				p.breaker.Record(false)
 				p.failures.Add(1)
@@ -289,7 +299,7 @@ func (f *Fleet) Forward(ctx context.Context, addr string, d Digest, path, rawQue
 }
 
 // attemptForward is one bounded try against one peer.
-func (f *Fleet) attemptForward(ctx context.Context, p *Peer, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
+func (f *Fleet) attemptForward(ctx context.Context, p *Peer, method, path, rawQuery, contentType, accept string, body []byte) (*Response, error) {
 	addr := p.Addr
 	actx, cancel := context.WithTimeout(ctx, f.attempt)
 	defer cancel()
@@ -298,7 +308,11 @@ func (f *Fleet) attemptForward(ctx context.Context, p *Peer, path, rawQuery, con
 	if rawQuery != "" {
 		url += "?" + rawQuery
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
 	if err != nil {
 		return nil, resilient.Permanent(err)
 	}
@@ -371,6 +385,11 @@ func (f *Fleet) attemptForward(ctx context.Context, p *Peer, path, rawQuery, con
 	out := &Response{Status: hr.StatusCode, Header: make(http.Header), Body: raw}
 	if ct := hr.Header.Get("Content-Type"); ct != "" {
 		out.Header.Set("Content-Type", ct)
+	}
+	// A 201's Location names a resource (a session) that later requests
+	// address by path, so it must survive the hop back to the client.
+	if loc := hr.Header.Get("Location"); loc != "" {
+		out.Header.Set("Location", loc)
 	}
 	// Relay the daemon's own X-Backbone-* metadata headers in a
 	// deterministic order.

@@ -12,6 +12,7 @@ import (
 // request between them.
 type flightKey struct {
 	digest      Digest
+	method      string
 	path        string
 	query       string
 	contentType string

@@ -248,22 +248,20 @@ func sortEdgeRecs(recs []edgeRec, keyBits uint) {
 
 // buildCSR assembles adjacency, strengths and the isolate count from
 // g.edges, which must already be canonical (sorted by (Src, Dst), no
-// duplicates). It is shared by Build and Subgraph.
-//
-// Arc ordering invariant: every node's arc range is sorted by To.
-// Directed out-arcs inherit it from the edge order; directed in-arcs
-// are scattered in edge order, so each node collects origins in
-// ascending Src order. For undirected graphs a node u's incident arcs
-// split into destinations below u (edges where u is Dst) and above u
-// (edges where u is Src) — scattering all Dst-side arcs before all
-// Src-side arcs therefore yields each range sorted, with no per-node
-// sorting pass.
+// duplicates). It is shared by Build and Subgraph. The three phases are
+// separate methods so a delta materialization (delta.go) can build
+// offsets and strengths eagerly while deferring the arc scatter until
+// an accessor actually walks adjacency.
 func (g *Graph) buildCSR(n int) {
-	g.outStrength = make([]float64, n)
-	g.inStrength = make([]float64, n)
-	g.outOff = make([]int32, n+1)
-	m := len(g.edges)
+	g.computeOffsets(n)
+	g.accumulate(n)
+	g.scatterArcs()
+}
 
+// computeOffsets builds the CSR offset arrays (counting pass plus
+// prefix sum) from g.edges.
+func (g *Graph) computeOffsets(n int) {
+	g.outOff = make([]int32, n+1)
 	if g.directed {
 		g.inOff = make([]int32, n+1)
 		for _, e := range g.edges {
@@ -274,19 +272,6 @@ func (g *Graph) buildCSR(n int) {
 			g.outOff[u+1] += g.outOff[u]
 			g.inOff[u+1] += g.inOff[u]
 		}
-		g.arcs = make([]Arc, m)
-		g.inArcs = make([]Arc, m)
-		outNext := append([]int32(nil), g.outOff[:n]...)
-		inNext := append([]int32(nil), g.inOff[:n]...)
-		for id, e := range g.edges {
-			g.arcs[outNext[e.Src]] = Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight}
-			outNext[e.Src]++
-			g.inArcs[inNext[e.Dst]] = Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight}
-			inNext[e.Dst]++
-			g.outStrength[e.Src] += e.Weight
-			g.inStrength[e.Dst] += e.Weight
-			g.total += e.Weight
-		}
 	} else {
 		for _, e := range g.edges {
 			g.outOff[e.Src+1]++
@@ -295,26 +280,78 @@ func (g *Graph) buildCSR(n int) {
 		for u := 0; u < n; u++ {
 			g.outOff[u+1] += g.outOff[u]
 		}
-		g.arcs = make([]Arc, 2*m)
-		next := append([]int32(nil), g.outOff[:n]...)
-		for id, e := range g.edges { // Dst-side arcs first: To < node
-			g.arcs[next[e.Dst]] = Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight}
-			next[e.Dst]++
+	}
+}
+
+// accumulate folds strengths, the global total and the isolate count
+// from g.edges in canonical order; offsets must already exist. The fold
+// order is part of the package's bit-identity contract: each node's
+// strength is the left fold of its own incident edge weights in
+// canonical (Src, Dst) order — independent of every other node's edges
+// — and the total is the left fold over all edges. delta.go reproduces
+// the per-node fold for dirty nodes and refolds the total in full.
+func (g *Graph) accumulate(n int) {
+	g.outStrength = make([]float64, n)
+	g.inStrength = make([]float64, n)
+	if g.directed {
+		for _, e := range g.edges {
+			g.outStrength[e.Src] += e.Weight
+			g.inStrength[e.Dst] += e.Weight
+			g.total += e.Weight
 		}
-		for id, e := range g.edges { // then Src-side arcs: To > node
-			g.arcs[next[e.Src]] = Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight}
-			next[e.Src]++
+	} else {
+		for _, e := range g.edges {
 			g.outStrength[e.Src] += e.Weight
 			g.outStrength[e.Dst] += e.Weight
 			g.total += 2 * e.Weight
 		}
 		copy(g.inStrength, g.outStrength)
 	}
-
 	for u := 0; u < n; u++ {
 		if g.OutDegree(u) == 0 && g.InDegree(u) == 0 {
 			g.isolates++
 		}
+	}
+}
+
+// scatterArcs allocates and fills the arc arrays from g.edges and the
+// offsets computeOffsets built.
+//
+// Arc ordering invariant: every node's arc range is sorted by To.
+// Directed out-arcs inherit it from the edge order; directed in-arcs
+// are scattered in edge order, so each node collects origins in
+// ascending Src order. For undirected graphs a node u's incident arcs
+// split into destinations below u (edges where u is Dst) and above u
+// (edges where u is Src) — scattering all Dst-side arcs before all
+// Src-side arcs therefore yields each range sorted, with no per-node
+// sorting pass.
+func (g *Graph) scatterArcs() {
+	n := len(g.outOff) - 1
+	m := len(g.edges)
+	if g.directed {
+		arcs := make([]Arc, m)
+		inArcs := make([]Arc, m)
+		outNext := append([]int32(nil), g.outOff[:n]...)
+		inNext := append([]int32(nil), g.inOff[:n]...)
+		for id, e := range g.edges {
+			arcs[outNext[e.Src]] = Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight}
+			outNext[e.Src]++
+			inArcs[inNext[e.Dst]] = Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight}
+			inNext[e.Dst]++
+		}
+		g.arcs, g.inArcs = arcs, inArcs
+	} else {
+		arcs := make([]Arc, 2*m)
+		next := append([]int32(nil), g.outOff[:n]...)
+		for id, e := range g.edges { // Dst-side arcs first: To < node
+			arcs[next[e.Dst]] = Arc{To: e.Src, EdgeID: int32(id), Weight: e.Weight}
+			next[e.Dst]++
+		}
+		for id, e := range g.edges { // then Src-side arcs: To > node
+			arcs[next[e.Src]] = Arc{To: e.Dst, EdgeID: int32(id), Weight: e.Weight}
+			next[e.Src]++
+		}
+		g.arcs = arcs
 	}
 }
 

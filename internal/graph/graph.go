@@ -14,7 +14,10 @@
 // and lets Weight answer membership queries by binary search.
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Edge is a weighted (and possibly directed) connection between two nodes.
 // For undirected graphs the canonical representation has Src <= Dst.
@@ -52,10 +55,39 @@ type Graph struct {
 	inArcs []Arc
 	inOff  []int32
 
+	// lazyArcs, when non-nil, defers the arc scatter (scatterArcs in
+	// builder.go) until an accessor actually needs adjacency. Delta
+	// materializations (delta.go) set it: frontier re-scoring reads
+	// only offsets, strengths and the edge slice, so the O(m) scatter
+	// is paid only by methods that walk neighborhoods. A pointer so
+	// Graph values stay copyable under vet's copylocks check.
+	lazyArcs *arcsOnce
+
+	// lazyTotal, when non-nil, defers the global-weight fold the same
+	// way: the fold is a serial O(m) float chain, and the frontier
+	// methods (naive, disparity) never read it. Methods with a global
+	// term (noise-corrected) pay for it on first TotalWeight call.
+	lazyTotal *totalOnce
+
 	outStrength []float64
 	inStrength  []float64
 	total       float64
 	isolates    int
+}
+
+// arcsOnce guards one-time lazy arc assembly.
+type arcsOnce struct{ once sync.Once }
+
+// totalOnce guards the one-time lazy global-weight fold.
+type totalOnce struct{ once sync.Once }
+
+// ensureArcs assembles the arc arrays on first need. Every accessor
+// that reads arcs or inArcs must call it first; offsets, strengths,
+// degrees and the edge slice are always eager.
+func (g *Graph) ensureArcs() {
+	if g.lazyArcs != nil {
+		g.lazyArcs.once.Do(g.scatterArcs)
+	}
 }
 
 // Directed reports whether the graph is directed.
@@ -82,7 +114,10 @@ func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 // Out returns the outgoing arcs of node u, sorted by destination. For
 // undirected graphs this is every incident arc. Callers must not modify
 // the returned slice.
-func (g *Graph) Out(u int) []Arc { return g.arcs[g.outOff[u]:g.outOff[u+1]] }
+func (g *Graph) Out(u int) []Arc {
+	g.ensureArcs()
+	return g.arcs[g.outOff[u]:g.outOff[u+1]]
+}
 
 // In returns the incoming arcs of node u, sorted by origin. For
 // undirected graphs it is identical to Out. Callers must not modify the
@@ -91,6 +126,7 @@ func (g *Graph) In(u int) []Arc {
 	if !g.directed {
 		return g.Out(u)
 	}
+	g.ensureArcs()
 	return g.inArcs[g.inOff[u]:g.inOff[u+1]]
 }
 
@@ -126,7 +162,28 @@ func (g *Graph) InStrengths() []float64 { return g.inStrength }
 // For undirected graphs every edge is counted twice (once per direction),
 // so that N_i. , N_.j and N.. are mutually consistent:
 // sum_i N_i. == N.. in both the directed and undirected case.
-func (g *Graph) TotalWeight() float64 { return g.total }
+func (g *Graph) TotalWeight() float64 {
+	if g.lazyTotal != nil {
+		g.lazyTotal.once.Do(g.foldTotal)
+	}
+	return g.total
+}
+
+// foldTotal computes the deferred global total with exactly
+// accumulate's fold order — a left fold over canonical edges, each
+// counted twice when undirected — so a lazy total is bit-identical to a
+// cold build's eager one.
+func (g *Graph) foldTotal() {
+	if g.directed {
+		for _, e := range g.edges {
+			g.total += e.Weight
+		}
+	} else {
+		for _, e := range g.edges {
+			g.total += 2 * e.Weight
+		}
+	}
+}
 
 // Label returns the string label of node u ("" if none was assigned).
 func (g *Graph) Label(u int) string {
@@ -191,7 +248,7 @@ func (g *Graph) String() string {
 		kind = "directed"
 	}
 	return fmt.Sprintf("graph{%s, %d nodes, %d edges, total weight %.6g}",
-		kind, g.NumNodes(), g.NumEdges(), g.total)
+		kind, g.NumNodes(), g.NumEdges(), g.TotalWeight())
 }
 
 // Isolates returns the IDs of nodes with no incident edges.

@@ -26,6 +26,7 @@ type CSRView struct {
 
 // CSRView returns the graph's CSR adjacency arrays without copying.
 func (g *Graph) CSRView() CSRView {
+	g.ensureArcs()
 	return CSRView{Arcs: g.arcs, OutOff: g.outOff, InArcs: g.inArcs, InOff: g.inOff}
 }
 

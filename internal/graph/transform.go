@@ -26,6 +26,18 @@ func (g *Graph) Subgraph(keep []bool) *Graph {
 			edges = append(edges, e)
 		}
 	}
+	return g.SubgraphEdges(edges)
+}
+
+// SubgraphEdges returns a copy of g containing exactly the given edges,
+// which must be a subsequence of g.Edges() (canonical order, no
+// duplicates); the result takes ownership of the slice. It is the fused
+// fast path behind Scores.Threshold — callers that already walk a
+// per-edge criterion collect the survivors directly instead of paying
+// for a keep mask plus two more O(m) passes over the edge slice.
+//
+//lint:ctxflow-ok tight O(m) CSR pass with no I/O; the pipeline checks ctx between stages
+func (g *Graph) SubgraphEdges(edges []Edge) *Graph {
 	sub := &Graph{
 		directed: g.directed,
 		labels:   g.labels,

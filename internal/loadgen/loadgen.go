@@ -13,11 +13,19 @@
 // budget, client-side expiry a timeout, everything else an error.
 // Latencies are recorded per outcome and summarized as percentiles
 // plus a log-scale histogram.
+//
+// UpdateFraction > 0 switches the run to a mixed incremental
+// workload: setup opens one live session per body (POST /session),
+// and each arrival then either applies a single-edge update batch to
+// its body's session or reads the session's backbone — exercising the
+// daemon's delta/re-scoring path under the same open-loop pressure.
+// The report breaks outcomes and latencies down per operation.
 package loadgen
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +33,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +88,13 @@ type Config struct {
 	// open-loop signal that the server has fallen behind the offered
 	// rate by more than the cap.
 	MaxInFlight int
+	// UpdateFraction in [0,1) switches the run to a mixed incremental
+	// workload: setup opens one session per body, then that share of
+	// arrivals POST a single-edge update to the selected body's
+	// session and the rest GET its backbone (or score table, when
+	// Path is /score). 0 keeps the stateless POST workload. Bodies
+	// must be CSV for update-edge synthesis.
+	UpdateFraction float64
 	// Client overrides the HTTP client (tests); default is a dedicated
 	// client with a generous connection pool.
 	Client *http.Client
@@ -121,6 +137,12 @@ type Report struct {
 	// requests whatever their outcome.
 	Latency   map[Outcome]LatencySummary `json:"latency"`
 	Histogram []Bucket                   `json:"histogram"`
+	// Sessions counts the incremental sessions a mixed run opened
+	// during setup; Ops and OpLatency break sent requests down per
+	// operation ("update" / "read"). All empty for stateless runs.
+	Sessions  int                                   `json:"sessions,omitempty"`
+	Ops       map[string]map[Outcome]int            `json:"ops,omitempty"`
+	OpLatency map[string]map[Outcome]LatencySummary `json:"op_latency,omitempty"`
 }
 
 // result is one completed request as recorded by workers.
@@ -128,6 +150,18 @@ type result struct {
 	outcome    Outcome
 	latency    time.Duration
 	retryAfter float64
+	op         string
+}
+
+// arrival describes one scheduled request; the scheduler builds it
+// (keeping all RNG use single-threaded) and a worker goroutine fires
+// it.
+type arrival struct {
+	method      string
+	target      string
+	contentType string
+	body        []byte
+	op          string
 }
 
 // Run drives one open-loop load run and blocks until every in-flight
@@ -152,6 +186,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 512
 	}
+	if cfg.UpdateFraction < 0 || cfg.UpdateFraction >= 1 {
+		return nil, fmt.Errorf("loadgen: UpdateFraction must be in [0,1) (got %g)", cfg.UpdateFraction)
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
@@ -165,10 +202,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pick := func() []byte { return cfg.Bodies[rng.Intn(len(cfg.Bodies))] }
+	pick := func() int { return rng.Intn(len(cfg.Bodies)) }
 	if cfg.Zipf > 1 && len(cfg.Bodies) > 1 {
 		z := rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(cfg.Bodies)-1))
-		pick = func() []byte { return cfg.Bodies[z.Uint64()] }
+		pick = func() int { return int(z.Uint64()) }
 	}
 
 	var (
@@ -178,6 +215,42 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	)
 	inFlight := make(chan struct{}, cfg.MaxInFlight)
 	rep := &Report{Outcomes: map[Outcome]int{}, Latency: map[Outcome]LatencySummary{}}
+
+	// Mixed workload: open one live session per body before the clock
+	// starts, so session-create cost never pollutes the measured run.
+	var sessions []sessionTarget
+	if cfg.UpdateFraction > 0 {
+		var err error
+		sessions, err = openSessions(ctx, client, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sessions = len(sessions)
+		defer closeSessions(client, cfg.URL, sessions)
+	}
+	readPath := "backbone"
+	if cfg.Path == "/score" {
+		readPath = "score"
+	}
+	nextArrival := func() arrival {
+		idx := pick()
+		if sessions == nil {
+			return arrival{method: http.MethodPost, target: target,
+				contentType: "text/csv", body: cfg.Bodies[idx], op: "post"}
+		}
+		sess := sessions[idx]
+		if rng.Float64() < cfg.UpdateFraction {
+			return arrival{method: http.MethodPost,
+				target:      cfg.URL + "/session/" + sess.id + "/update",
+				contentType: "application/json",
+				body:        randomUpdate(rng, sess.labels), op: "update"}
+		}
+		t := cfg.URL + "/session/" + sess.id + "/" + readPath
+		if cfg.Query != "" {
+			t += "?" + cfg.Query
+		}
+		return arrival{method: http.MethodGet, target: t, op: "read"}
+	}
 
 	start := time.Now()
 	elapsed := time.Duration(0)
@@ -192,14 +265,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rate = cfg.RPS + (cfg.RampTo-cfg.RPS)*frac
 		}
 		rep.Offered++
-		body := pick()
+		a := nextArrival()
 		select {
 		case inFlight <- struct{}{}:
 			rep.Sent++
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				r := fire(ctx, client, target, body, cfg.Timeout)
+				r := fire(ctx, client, a, cfg.Timeout)
 				<-inFlight
 				mu.Lock()
 				results = append(results, r)
@@ -223,6 +296,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.DurationSeconds = time.Since(start).Seconds()
 
 	byOutcome := map[Outcome][]time.Duration{}
+	byOp := map[string]map[Outcome][]time.Duration{}
 	var all []time.Duration
 	for _, r := range results {
 		rep.Outcomes[r.outcome]++
@@ -232,9 +306,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rep.RetryAfterSeconds += r.retryAfter
 			rep.RetryAfterCount++
 		}
+		if sessions != nil {
+			if byOp[r.op] == nil {
+				byOp[r.op] = map[Outcome][]time.Duration{}
+			}
+			byOp[r.op][r.outcome] = append(byOp[r.op][r.outcome], r.latency)
+		}
 	}
 	for o, ls := range byOutcome {
 		rep.Latency[o] = summarize(ls)
+	}
+	if len(byOp) > 0 {
+		rep.Ops = map[string]map[Outcome]int{}
+		rep.OpLatency = map[string]map[Outcome]LatencySummary{}
+		for op, outcomes := range byOp {
+			rep.Ops[op] = map[Outcome]int{}
+			rep.OpLatency[op] = map[Outcome]LatencySummary{}
+			for o, ls := range outcomes {
+				rep.Ops[op][o] = len(ls)
+				rep.OpLatency[op][o] = summarize(ls)
+			}
+		}
 	}
 	rep.Histogram = histogram(all)
 	if rep.DurationSeconds > 0 {
@@ -244,44 +336,153 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // fire issues one request and classifies the result.
-func fire(ctx context.Context, client *http.Client, target string, body []byte, timeout time.Duration) result {
+func fire(ctx context.Context, client *http.Client, a arrival, timeout time.Duration) result {
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	started := time.Now()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, target, bytes.NewReader(body))
-	if err != nil {
-		return result{outcome: Errored, latency: time.Since(started)}
+	var rd io.Reader
+	if a.body != nil {
+		rd = bytes.NewReader(a.body)
 	}
-	req.Header.Set("Content-Type", "text/csv")
+	req, err := http.NewRequestWithContext(rctx, a.method, a.target, rd)
+	if err != nil {
+		return result{outcome: Errored, latency: time.Since(started), op: a.op}
+	}
+	if a.contentType != "" {
+		req.Header.Set("Content-Type", a.contentType)
+	}
 	// Propagate the full budget; the server (and any fleet forward)
 	// deducts from it and sheds what cannot finish in time.
 	req.Header.Set(fleet.DeadlineHeader, strconv.FormatInt(timeout.Milliseconds(), 10))
 	resp, err := client.Do(req)
 	if err != nil {
 		if errors.Is(rctx.Err(), context.DeadlineExceeded) {
-			return result{outcome: Timeout, latency: time.Since(started)}
+			return result{outcome: Timeout, latency: time.Since(started), op: a.op}
 		}
-		return result{outcome: Errored, latency: time.Since(started)}
+		return result{outcome: Errored, latency: time.Since(started), op: a.op}
 	}
 	defer resp.Body.Close()
 	_, readErr := io.Copy(io.Discard, resp.Body)
 	lat := time.Since(started)
+	r := result{latency: lat, op: a.op}
 	switch {
 	case readErr != nil:
+		r.outcome = Errored
 		if errors.Is(rctx.Err(), context.DeadlineExceeded) {
-			return result{outcome: Timeout, latency: lat}
+			r.outcome = Timeout
 		}
-		return result{outcome: Errored, latency: lat}
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
-		return result{outcome: OK, latency: lat}
+		r.outcome = OK
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		ra, _ := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
-		return result{outcome: Shed, latency: lat, retryAfter: ra}
+		r.outcome = Shed
+		r.retryAfter, _ = strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
 	case resp.StatusCode == http.StatusGatewayTimeout:
-		return result{outcome: Expired, latency: lat}
+		r.outcome = Expired
 	default:
-		return result{outcome: Errored, latency: lat}
+		r.outcome = Errored
 	}
+	return r
+}
+
+// sessionTarget is one live incremental session opened during setup
+// for a mixed read/update run.
+type sessionTarget struct {
+	id     string
+	labels []string
+}
+
+// openSessions opens one session per body. Creates are not part of
+// the measured run, so they get a generous fixed budget rather than
+// cfg.Timeout (a cold parse of a large body may exceed the per-op
+// budget the run itself uses).
+func openSessions(ctx context.Context, client *http.Client, cfg Config, rng *rand.Rand) ([]sessionTarget, error) {
+	out := make([]sessionTarget, 0, len(cfg.Bodies))
+	for i, body := range cfg.Bodies {
+		labels := csvLabels(body)
+		if len(labels) < 2 {
+			return nil, fmt.Errorf("loadgen: body %d: need >= 2 node labels for updates (is it CSV?)", i)
+		}
+		rctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, cfg.URL+"/session", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("loadgen: create session for body %d: %w", i, err)
+		}
+		var created struct {
+			Session string `json:"session"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&created)
+		resp.Body.Close()
+		cancel()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("loadgen: create session for body %d: status %d", i, resp.StatusCode)
+		}
+		if derr != nil || created.Session == "" {
+			return nil, fmt.Errorf("loadgen: create session for body %d: bad response (%v)", i, derr)
+		}
+		out = append(out, sessionTarget{id: created.Session, labels: labels})
+	}
+	return out, nil
+}
+
+// closeSessions best-effort DELETEs the run's sessions so repeated
+// runs do not pile residents up to the daemon's -max-sessions bound.
+func closeSessions(client *http.Client, base string, sessions []sessionTarget) {
+	for _, s := range sessions {
+		req, err := http.NewRequest(http.MethodDelete, base+"/session/"+s.id, nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+			resp.Body.Close()
+		}
+	}
+}
+
+// randomUpdate synthesizes a single-edge update batch: mostly upserts
+// with a fresh weight, occasionally a delete (weight 0 — a no-op when
+// the pair is absent, which the daemon accepts).
+func randomUpdate(rng *rand.Rand, labels []string) []byte {
+	u := rng.Intn(len(labels))
+	v := rng.Intn(len(labels))
+	for v == u {
+		v = rng.Intn(len(labels))
+	}
+	w := 0.0
+	if rng.Intn(8) != 0 {
+		w = float64(rng.Intn(50) + 1)
+	}
+	raw, _ := json.Marshal(map[string]any{"updates": []map[string]any{
+		{"src": labels[u], "dst": labels[v], "weight": w},
+	}})
+	return raw
+}
+
+// csvLabels scans a CSV edge-list body for its node labels in
+// first-appearance order.
+func csvLabels(body []byte) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(string(body), "\n") {
+		f := strings.SplitN(line, ",", 3)
+		if len(f) < 3 || f[0] == "src" || f[0] == "" {
+			continue
+		}
+		for _, l := range f[:2] {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
 }
 
 // summarize computes nearest-rank percentiles over one outcome's

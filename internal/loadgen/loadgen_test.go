@@ -3,8 +3,11 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -194,12 +197,89 @@ func TestRunZipfSkewsBodySelection(t *testing.T) {
 
 func TestRunValidatesConfig(t *testing.T) {
 	for name, cfg := range map[string]Config{
-		"zero rps":      {Duration: time.Second, Bodies: [][]byte{[]byte("x")}},
-		"zero duration": {RPS: 1, Bodies: [][]byte{[]byte("x")}},
-		"no bodies":     {RPS: 1, Duration: time.Second},
+		"zero rps":          {Duration: time.Second, Bodies: [][]byte{[]byte("x")}},
+		"zero duration":     {RPS: 1, Bodies: [][]byte{[]byte("x")}},
+		"no bodies":         {RPS: 1, Duration: time.Second},
+		"bad frac negative": {RPS: 1, Duration: time.Second, Bodies: [][]byte{[]byte("x")}, UpdateFraction: -0.1},
+		"bad frac one":      {RPS: 1, Duration: time.Second, Bodies: [][]byte{[]byte("x")}, UpdateFraction: 1},
 	} {
 		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("%s: no error", name)
 		}
+	}
+}
+
+// TestRunMixedUpdateWorkload: UpdateFraction > 0 opens one session per
+// body during setup, splits arrivals into session updates and session
+// reads near the configured ratio, reports per-op outcomes, and closes
+// its sessions afterwards.
+func TestRunMixedUpdateWorkload(t *testing.T) {
+	bodies, err := Bodies(3, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var creates, updates, reads, deletes atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/session":
+			id := creates.Add(1)
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(w, `{"session":"s%d","nodes":1,"edges":1}`, id)
+		case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/update"):
+			var body struct {
+				Updates []struct{ Src, Dst string } `json:"updates"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil || len(body.Updates) == 0 {
+				t.Errorf("malformed update body: %v", err)
+			}
+			updates.Add(1)
+			w.Write([]byte(`{"applied":1}`))
+		case r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/backbone"):
+			if r.URL.RawQuery != "method=nc" {
+				t.Errorf("read query = %q", r.URL.RawQuery)
+			}
+			reads.Add(1)
+			w.Write([]byte("src,dst,weight\n"))
+		case r.Method == http.MethodDelete:
+			deletes.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			t.Errorf("unexpected %s %s in mixed run", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:            ts.URL,
+		Query:          "method=nc",
+		RPS:            400,
+		Duration:       300 * time.Millisecond,
+		Timeout:        2 * time.Second,
+		Bodies:         bodies,
+		UpdateFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 3 || creates.Load() != 3 {
+		t.Fatalf("sessions = %d (creates %d), want 3", rep.Sessions, creates.Load())
+	}
+	if deletes.Load() != 3 {
+		t.Errorf("run closed %d of 3 sessions", deletes.Load())
+	}
+	u, r := int(updates.Load()), int(reads.Load())
+	if u == 0 || r == 0 || u+r != rep.Sent {
+		t.Fatalf("updates/reads = %d/%d of %d sent", u, r, rep.Sent)
+	}
+	frac := float64(u) / float64(u+r)
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("update fraction %.2f, want near 0.3", frac)
+	}
+	if rep.Ops["update"][OK] != u || rep.Ops["read"][OK] != r {
+		t.Errorf("per-op report %v does not match served %d/%d", rep.Ops, u, r)
+	}
+	if s := rep.OpLatency["read"][OK]; s.Count != r || s.MaxMs < s.MinMs {
+		t.Errorf("op latency[read] = %+v", s)
 	}
 }

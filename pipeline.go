@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/graph"
 )
 
 // Method is a registry entry describing one backboning algorithm: its
@@ -36,6 +37,9 @@ type config struct {
 	fracSet   bool
 	parallel  bool
 	scores    *Scores
+	dirtyOld  *Scores
+	dirty     graph.Dirty
+	dirtySet  bool
 	progress  func(done, total int)
 	lenient   bool // skip params the method does not declare (BackboneAll)
 	err       error
@@ -162,6 +166,21 @@ func WithScores(s *Scores) Option {
 	return func(c *config) { c.scores = s }
 }
 
+// WithDirtyScores supplies the previous materialization's score table
+// plus the Dirty record a Delta materialization produced, so the run
+// re-scores only the rows the update stream could have changed
+// (filter.RescoreDirty) and reuses everything else — the incremental
+// sibling of WithScores. old may be nil (e.g. the first run of a
+// session); methods without a delta capability fall back to a full
+// rescore transparently. Either way the resulting table is
+// bit-identical to scoring from scratch. The graph passed to the run
+// must be dirty.For (enforced), and old, when set, must have been
+// computed for dirty.Base by the same method. Mutually exclusive with
+// WithScores.
+func WithDirtyScores(old *Scores, dirty Dirty) Option {
+	return func(c *config) { c.dirtyOld, c.dirty, c.dirtySet = old, dirty, true }
+}
+
 // WithProgress registers a callback for long runs: fn is invoked after
 // every scored checkpoint range (a few thousand edges) with the
 // cumulative number of scored edges and the total. Parallel runs call
@@ -268,6 +287,17 @@ func BackboneContext(ctx context.Context, g *Graph, opts ...Option) (*Result, er
 	so := filter.ScoreOpts{Parallel: c.parallel, Progress: c.progress}
 	start := time.Now()
 	scores := c.scores
+	if c.dirtySet {
+		if scores != nil {
+			return nil, &ParamError{Method: m.Name, Param: "scores", Reason: "WithScores and WithDirtyScores are mutually exclusive"}
+		}
+		if c.dirty.For != g {
+			return nil, &ParamError{Method: m.Name, Param: "scores", Reason: "dirty record describes a different graph"}
+		}
+		if scores, _, err = filter.RescoreDirty(ctx, m, c.dirtyOld, c.dirty, so); err != nil {
+			return nil, err
+		}
+	}
 	var bb *Graph
 	var params filter.Params
 	switch {
@@ -348,7 +378,18 @@ func ScoreContext(ctx context.Context, g *Graph, opts ...Option) (*Scores, error
 	if _, err := m.Resolve(c.params); err != nil {
 		return nil, err
 	}
-	return m.ScoreCtx(ctx, g, filter.ScoreOpts{Parallel: c.parallel, Progress: c.progress})
+	so := filter.ScoreOpts{Parallel: c.parallel, Progress: c.progress}
+	if c.dirtySet {
+		if c.scores != nil {
+			return nil, &ParamError{Method: m.Name, Param: "scores", Reason: "WithScores and WithDirtyScores are mutually exclusive"}
+		}
+		if c.dirty.For != g {
+			return nil, &ParamError{Method: m.Name, Param: "scores", Reason: "dirty record describes a different graph"}
+		}
+		s, _, err := filter.RescoreDirty(ctx, m, c.dirtyOld, c.dirty, so)
+		return s, err
+	}
+	return m.ScoreCtx(ctx, g, so)
 }
 
 // BackboneAll runs several methods concurrently on the same graph and
